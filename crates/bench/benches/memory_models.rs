@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the memory substrate: raw cache lookups under each
+//! replacement policy and hashing scheme, and prefetcher training
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use racesim_mem::{
+    Cache, CacheConfig, GhbPrefetcher, IndexHash, Prefetcher, Replacement, StridePrefetcher,
+};
+
+fn cache_cfg(replacement: Replacement, hash: IndexHash) -> CacheConfig {
+    CacheConfig {
+        replacement,
+        hash,
+        ..CacheConfig::l1_default()
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    const N: u64 = 4096;
+    group.throughput(Throughput::Elements(N));
+    for repl in [
+        Replacement::Lru,
+        Replacement::PseudoLru,
+        Replacement::Random,
+        Replacement::Fifo,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("replacement", format!("{repl}")),
+            &repl,
+            |b, &repl| {
+                let mut cache = Cache::new(&cache_cfg(repl, IndexHash::Mask));
+                let mut i = 0u64;
+                b.iter(|| {
+                    for _ in 0..N {
+                        i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        cache.access((i >> 20) & 0xFFFF, false, true);
+                    }
+                })
+            },
+        );
+    }
+    for hash in [IndexHash::Mask, IndexHash::Xor, IndexHash::MersenneMod] {
+        group.bench_with_input(
+            BenchmarkId::new("hashing", format!("{hash}")),
+            &hash,
+            |b, &hash| {
+                let mut cache = Cache::new(&cache_cfg(Replacement::Lru, hash));
+                let mut i = 0u64;
+                b.iter(|| {
+                    for _ in 0..N {
+                        i = i.wrapping_add(0x40);
+                        cache.access(i >> 6, false, true);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetcher_observe");
+    const N: u64 = 4096;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("stride", |b| {
+        let mut pf = StridePrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        b.iter(|| {
+            for i in 0..N {
+                out.clear();
+                pf.observe(0x400 + (i % 8) * 4, i * 3, false, &mut out);
+            }
+        })
+    });
+    group.bench_function("ghb", |b| {
+        let mut pf = GhbPrefetcher::new(128, 64, 2);
+        let mut out = Vec::new();
+        b.iter(|| {
+            for i in 0..N {
+                out.clear();
+                pf.observe(0x400 + (i % 8) * 4, i * 3, false, &mut out);
+            }
+        })
+    });
+    group.finish();
+}
+
+
+/// Criterion configuration: set `RACESIM_QUICK_BENCH=1` to shrink
+/// measurement times (used by CI and the final smoke runs).
+fn configured() -> Criterion {
+    let c = Criterion::default();
+    if std::env::var("RACESIM_QUICK_BENCH").is_ok() {
+        c.measurement_time(std::time::Duration::from_secs(2))
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .sample_size(10)
+    } else {
+        c
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_cache, bench_prefetchers
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Performance of the racing machinery itself: statistical-test
+//! throughput and end-to-end tuner iterations on a synthetic cost
+//! function (no simulation in the loop, so this isolates the tuner).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racesim_race::{Configuration, CostFn, ParamSpace, RacingTuner, Tuner, TunerSettings};
+use racesim_stats::{friedman_test, wilcoxon_signed_rank};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statistics");
+    for k in [4usize, 16, 64] {
+        // 20 blocks x k configs with a stable ranking plus noise.
+        let matrix: Vec<Vec<f64>> = (0..20)
+            .map(|b| {
+                (0..k)
+                    .map(|j| j as f64 + ((b * 7919 + j * 31) % 13) as f64 * 0.1)
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("friedman", k), &matrix, |bch, m| {
+            bch.iter(|| friedman_test(m).unwrap())
+        });
+    }
+    let a: Vec<f64> = (0..40).map(|i| (i as f64 * 1.37).sin() + 2.0).collect();
+    let b: Vec<f64> = a.iter().map(|x| x + 0.05).collect();
+    group.bench_function("wilcoxon_40", |bch| {
+        bch.iter(|| wilcoxon_signed_rank(&a, &b))
+    });
+    group.finish();
+}
+
+struct Synthetic;
+
+impl CostFn for Synthetic {
+    fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+        let x = cfg.integer(space, "x") as f64;
+        let y = cfg.integer(space, "y") as f64;
+        (x - 3.0).powi(2) + (y + 2.0).powi(2) + ((instance * 13) % 7) as f64 * 0.2
+    }
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    let mut space = ParamSpace::new();
+    space.add_integer("x", &[-8, -4, -2, 0, 1, 2, 3, 4, 8]);
+    space.add_integer("y", &[-8, -4, -2, -1, 0, 2, 4, 8]);
+    space.add_categorical("m", &["a", "b", "c"]);
+    space.add_bool("f");
+
+    let mut group = c.benchmark_group("tuner");
+    group.sample_size(10);
+    for budget in [500u64, 2000] {
+        group.bench_with_input(
+            BenchmarkId::new("racing_budget", budget),
+            &budget,
+            |bch, &budget| {
+                bch.iter(|| {
+                    RacingTuner::new(TunerSettings {
+                        budget,
+                        seed: 1,
+                        ..TunerSettings::default()
+                    })
+                    .tune(&space, &Synthetic, 20)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration: set `RACESIM_QUICK_BENCH=1` to shrink
+/// measurement times (used by CI and the final smoke runs).
+fn configured() -> Criterion {
+    let c = Criterion::default();
+    if std::env::var("RACESIM_QUICK_BENCH").is_ok() {
+        c.measurement_time(std::time::Duration::from_secs(2))
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .sample_size(10)
+    } else {
+        c
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_stats, bench_tuner
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 5: per-application absolute CPI prediction error of
+//! the tuned in-order (Cortex-A53) model on the SPEC CPU2017 proxies.
+//! The paper reports a 7% average with a 16% worst case.
+
+use racesim_bench::{banner, board_for, mean_of, results_dir, spec_errors, validate, ExperimentConfig};
+use racesim_core::{report, Revision};
+use racesim_uarch::CoreKind;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    banner("Figure 5: tuned A53 model vs hardware on SPEC CPU2017");
+
+    let outcome = validate(CoreKind::InOrder, Revision::Fixed, &cfg);
+    println!(
+        "(tuning set: {:.1}% mean micro-benchmark error after racing)",
+        outcome.tuned_mean_error()
+    );
+
+    let board = board_for(CoreKind::InOrder);
+    let rows = spec_errors(&outcome.tuned, &board, cfg.scale);
+    print!("\n{}", report::bar_chart(&rows, 40, "%"));
+    println!(
+        "\naverage absolute CPI error: {:.1}%  (paper: 7%, max 16%)",
+        mean_of(&rows)
+    );
+
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(n, e)| vec![n.clone(), format!("{e:.2}")])
+        .collect();
+    let csv = results_dir().join("fig5.csv");
+    report::write_csv(&csv, &["benchmark", "cpi_error_pct"], &csv_rows).expect("write csv");
+    println!("written: {}", csv.display());
+}

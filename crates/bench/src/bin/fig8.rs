@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: the impact of close-to-optimum but inaccurate
+//! parameter settings on the Cortex-A72 model.
+//!
+//! The paper: the average error triples from 15% to about 45% even though
+//! every parameter stays within one step of the optimum.
+
+use racesim_bench::perturbation::run_perturbation;
+use racesim_uarch::CoreKind;
+
+fn main() {
+    run_perturbation(
+        CoreKind::OutOfOrder,
+        "Figure 8: close-to-optimum worst case, A72",
+        "fig8.csv",
+        "(paper: average triples from 15% to ~45%)",
+    );
+}

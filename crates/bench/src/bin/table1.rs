@@ -1,0 +1,55 @@
+//! Regenerates Table I: the 40 micro-benchmarks with their dynamic
+//! instruction counts — the paper's reference counts alongside the counts
+//! this reproduction actually generates at the chosen scale.
+
+use racesim_bench::{banner, results_dir, ExperimentConfig};
+use racesim_core::report;
+use racesim_kernels::{microbench_suite, table1_reference_counts};
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    banner("Table I: micro-benchmarks and dynamic instruction counts");
+
+    let reference = table1_reference_counts();
+    let suite = microbench_suite(cfg.scale);
+
+    let mut rows = Vec::new();
+    for (name, paper_count) in &reference {
+        let w = suite
+            .iter()
+            .find(|w| w.name == *name)
+            .expect("suite matches Table I");
+        let trace = w.trace().expect("kernel runs");
+        rows.push(vec![
+            name.to_string(),
+            w.category.to_string(),
+            human(*paper_count),
+            human(trace.len() as u64),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["benchmark", "category", "paper insns", "generated insns"],
+            &rows
+        )
+    );
+    let csv = results_dir().join("table1.csv");
+    report::write_csv(
+        &csv,
+        &["benchmark", "category", "paper_insns", "generated_insns"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("written: {}", csv.display());
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table II: the SPEC CPU2017 benchmarks, their region
+//! markers and dynamic instruction counts — paper values alongside the
+//! proxy workloads this reproduction generates.
+
+use racesim_bench::{banner, results_dir, ExperimentConfig};
+use racesim_core::report;
+use racesim_kernels::spec::{build_proxy, profiles};
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else {
+        format!("{:.1}K", n as f64 / 1e3)
+    }
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    banner("Table II: SPEC CPU2017 benchmarks and instruction counts");
+
+    let mut rows = Vec::new();
+    for p in profiles() {
+        let w = build_proxy(&p, cfg.scale);
+        let trace = w.trace().expect("proxy runs");
+        rows.push(vec![
+            p.name.to_string(),
+            p.region.to_string(),
+            human(p.insn_count),
+            human(trace.len() as u64),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["benchmark", "region (file:line)", "paper insns", "proxy insns"],
+            &rows
+        )
+    );
+    let csv = results_dir().join("table2.csv");
+    report::write_csv(
+        &csv,
+        &["benchmark", "region", "paper_insns", "proxy_insns"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("written: {}", csv.display());
+}

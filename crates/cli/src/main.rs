@@ -1,0 +1,326 @@
+//! `racesim` — command-line interface to the hardware-validation toolkit.
+//!
+//! ```text
+//! racesim list                              list all workloads
+//! racesim simulate --platform a53 --workload MD [--scale 2048]
+//! racesim measure  --board a53 --workload MD [--scale 2048]
+//! racesim probe    --board a53              lmbench-style latency estimation
+//! racesim config   --platform a72           dump a platform config file
+//! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
+//! ```
+
+use racesim_core::{analysis, latency, report, Revision, Validator, ValidatorSettings};
+use racesim_hw::{HardwarePlatform, ReferenceBoard};
+use racesim_kernels::{microbench_suite, probes, spec_suite, Scale, Workload};
+use racesim_race::TunerSettings;
+use racesim_sim::{config_text, Platform, Simulator};
+use racesim_uarch::CoreKind;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+racesim — hardware-validated simulation toolkit
+
+USAGE:
+    racesim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                          list every workload (micro-benchmarks, SPEC proxies, probes)
+    simulate                      replay one workload through a simulated platform
+    measure                       run one workload on a reference board (perf counters)
+    probe                         estimate cache/memory latencies on a board (lmbench style)
+    config                        print a platform configuration file
+    validate                      run the full validation methodology and save the tuned model
+    help                          show this message
+
+COMMON OPTIONS:
+    --platform <a53|a72|FILE>     simulated platform preset or config file
+    --board <a53|a72>             reference board
+    --core <a53|a72>              core to validate
+    --workload <NAME>             workload name (see `racesim list`)
+    --scale <DIVISOR>             dynamic-instruction scale divisor (default 2048)
+    --budget <N>                  racing evaluation budget (default 2000)
+    --threads <N>                 evaluation threads (default: all)
+    --out <FILE>                  where to write the tuned config (validate)
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn scale_of(flags: &HashMap<String, String>) -> Result<Scale, String> {
+    match flags.get("scale") {
+        None => Ok(Scale::divide_by(2048)),
+        Some(v) => v
+            .parse()
+            .map(Scale::divide_by)
+            .map_err(|_| format!("invalid --scale {v:?}")),
+    }
+}
+
+fn board_of(flags: &HashMap<String, String>) -> Result<ReferenceBoard, String> {
+    match flags.get("board").map(String::as_str) {
+        Some("a53") | None => Ok(ReferenceBoard::firefly_a53()),
+        Some("a72") => Ok(ReferenceBoard::firefly_a72()),
+        Some(v) => Err(format!("unknown board {v:?} (use a53 or a72)")),
+    }
+}
+
+fn platform_of(flags: &HashMap<String, String>) -> Result<Platform, String> {
+    match flags.get("platform").map(String::as_str) {
+        Some("a53") | None => Ok(Platform::a53_like()),
+        Some("a72") => Ok(Platform::a72_like()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            config_text::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+    }
+}
+
+fn all_workloads(scale: Scale) -> Vec<Workload> {
+    let mut v = microbench_suite(scale);
+    v.extend(spec_suite(scale));
+    v.extend(probes::probe_ladder());
+    v
+}
+
+fn find_workload(flags: &HashMap<String, String>, scale: Scale) -> Result<Workload, String> {
+    let name = flags
+        .get("workload")
+        .ok_or_else(|| "missing --workload".to_string())?;
+    all_workloads(scale)
+        .into_iter()
+        .find(|w| &w.name == name)
+        .ok_or_else(|| format!("unknown workload {name:?} (see `racesim list`)"))
+}
+
+fn cmd_list(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let trace = w.trace().map_err(|e| format!("{}: {e}", w.name))?;
+        rows.push(vec![
+            w.name.clone(),
+            w.category.to_string(),
+            trace.len().to_string(),
+            if w.uninit_data { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        report::table(&["workload", "category", "insns @scale", "uninit"], &rows)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let platform = platform_of(flags)?;
+    let w = find_workload(flags, scale)?;
+    let trace = w.trace().map_err(|e| e.to_string())?;
+    let stats = Simulator::new(platform.clone())
+        .run(&trace)
+        .map_err(|e| e.to_string())?;
+    println!("platform:      {}", platform.name);
+    println!("workload:      {} ({})", w.name, w.category);
+    println!("instructions:  {}", stats.core.instructions);
+    println!("cycles:        {}", stats.core.cycles);
+    println!("CPI:           {:.4}", stats.cpi());
+    println!("branch MPKI:   {:.2}", stats.core.branch_mpki());
+    println!(
+        "L1D misses:    {} ({:.2}% of accesses)",
+        stats.mem.l1d.misses,
+        100.0 * stats.mem.l1d.miss_rate()
+    );
+    println!("L2 misses:     {}", stats.mem.l2.misses);
+    println!("DRAM accesses: {}", stats.mem.dram_accesses);
+    Ok(())
+}
+
+fn cmd_measure(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let board = board_of(flags)?;
+    let w = find_workload(flags, scale)?;
+    let counters = board.measure(&w).map_err(|e| e.to_string())?;
+    println!("board:         {}", board.name());
+    println!("workload:      {}", w.name);
+    println!("instructions:  {}", counters.instructions);
+    println!("cycles:        {}", counters.cycles);
+    println!("CPI:           {:.4}", counters.cpi());
+    println!("branch misses: {}", counters.branch_misses);
+    println!("L1D misses:    {}", counters.l1d_misses);
+    println!("L2 misses:     {}", counters.l2_misses);
+    Ok(())
+}
+
+fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
+    let board = board_of(flags)?;
+    println!("probing {} (lat_mem_rd ladder)...", board.name());
+    let est = latency::estimate_latencies(&board).map_err(|e| e.to_string())?;
+    println!("estimated L1D load-to-use latency: {} cycles", est.l1d);
+    println!("estimated L2 additional latency:   {} cycles", est.l2);
+    println!("estimated DRAM additional latency: {} cycles", est.dram);
+    Ok(())
+}
+
+fn cmd_config(flags: &HashMap<String, String>) -> Result<(), String> {
+    let platform = platform_of(flags)?;
+    print!("{}", config_text::to_text(&platform));
+    Ok(())
+}
+
+fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = match flags.get("core").map(String::as_str) {
+        Some("a53") | None => CoreKind::InOrder,
+        Some("a72") => CoreKind::OutOfOrder,
+        Some(v) => return Err(format!("unknown core {v:?} (use a53 or a72)")),
+    };
+    let board = match kind {
+        CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+        CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+    };
+    let budget = flags
+        .get("budget")
+        .map(|v| v.parse().map_err(|_| format!("invalid --budget {v:?}")))
+        .transpose()?
+        .unwrap_or(2_000u64);
+    let threads = flags
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| format!("invalid --threads {v:?}")))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        });
+    let settings = ValidatorSettings {
+        kind,
+        revision: Revision::Fixed,
+        scale: scale_of(flags)?,
+        tuner: TunerSettings {
+            budget,
+            threads,
+            ..TunerSettings::default()
+        },
+        metric: racesim_core::CostMetric::CpiError,
+    };
+    println!("validating the {kind} model against {} ...", board.name());
+    let outcome = Validator::new(&board, settings)
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "mean CPI error: {:.1}% untuned -> {:.1}% tuned ({} evaluations)",
+        outcome.untuned_mean_error(),
+        outcome.tuned_mean_error(),
+        outcome.tune.evals_used
+    );
+    let rep = analysis::analyse(&outcome.tuned_results);
+    for c in &rep.categories {
+        println!(
+            "  {:<14} mean {:>5.1}%  worst {} ({:.1}%)",
+            c.category.to_string(),
+            c.mean_error,
+            c.worst_bench,
+            c.worst_error
+        );
+    }
+    for r in &rep.recommendations {
+        println!("  fix: {r}");
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, config_text::to_text(&outcome.tuned))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("tuned configuration written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "measure" => cmd_measure(&flags),
+        "probe" => cmd_probe(&flags),
+        "config" => cmd_config(&flags),
+        "validate" => cmd_validate(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--scale", "1024", "--workload", "MD"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("scale").unwrap(), "1024");
+        assert_eq!(f.get("workload").unwrap(), "MD");
+        assert!(parse_flags(&["--dangling".to_string()]).is_err());
+        assert!(parse_flags(&["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn workload_lookup_and_platform_selection() {
+        let mut flags = HashMap::new();
+        flags.insert("workload".to_string(), "MD".to_string());
+        let w = find_workload(&flags, Scale::TINY).unwrap();
+        assert_eq!(w.name, "MD");
+        flags.insert("workload".to_string(), "nope".to_string());
+        assert!(find_workload(&flags, Scale::TINY).is_err());
+
+        let mut flags = HashMap::new();
+        flags.insert("platform".to_string(), "a72".to_string());
+        assert_eq!(platform_of(&flags).unwrap().core.kind, CoreKind::OutOfOrder);
+    }
+
+    #[test]
+    fn config_files_roundtrip_through_the_cli_path() {
+        let dir = std::env::temp_dir().join("racesim_cli_test.cfg");
+        std::fs::write(&dir, config_text::to_text(&Platform::a72_like())).unwrap();
+        let mut flags = HashMap::new();
+        flags.insert("platform".to_string(), dir.display().to_string());
+        let p = platform_of(&flags).unwrap();
+        assert_eq!(p, Platform::a72_like());
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end smoke tests of the `racesim` binary.
+
+use std::process::Command;
+
+fn racesim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_racesim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_is_printed() {
+    let out = racesim(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("validate"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = racesim(&["frobnicate"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown command"));
+}
+
+#[test]
+fn simulate_reports_cpi() {
+    let out = racesim(&["simulate", "--platform", "a53", "--workload", "ED1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CPI:"), "{text}");
+    assert!(text.contains("instructions:"));
+}
+
+#[test]
+fn measure_reports_counters() {
+    let out = racesim(&["measure", "--board", "a72", "--workload", "EI"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles:"));
+}
+
+#[test]
+fn config_dump_parses_back() {
+    let out = racesim(&["config", "--platform", "a72"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let p = racesim_sim::config_text::from_text(&text).expect("dump parses");
+    assert_eq!(p, racesim_sim::Platform::a72_like());
+}
+
+#[test]
+fn missing_workload_is_a_clean_error() {
+    let out = racesim(&["simulate", "--platform", "a53"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
+}

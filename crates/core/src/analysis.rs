@@ -1,0 +1,199 @@
+//! Step 5: per-component error analysis.
+//!
+//! "Each of the micro-benchmarks we use in step #4 stresses a particular
+//! component of the processor, and can thus expose modeling errors related
+//! to that component. Step #5 checks whether the modeling of certain
+//! processor components, as suggested by high errors for their respective
+//! micro-benchmarks, requires further optimization in the simulator."
+
+use crate::validator::BenchResult;
+use racesim_kernels::Category;
+use std::fmt;
+
+/// Residual error of one benchmark category.
+#[derive(Debug, Clone)]
+pub struct CategoryError {
+    /// The category (processor component it stresses).
+    pub category: Category,
+    /// Mean absolute CPI error across the category, percent.
+    pub mean_error: f64,
+    /// The worst benchmark in the category.
+    pub worst_bench: String,
+    /// Its error, percent.
+    pub worst_error: f64,
+}
+
+/// A concrete "fix error source" recommendation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// The component implicated.
+    pub component: &'static str,
+    /// What to do about it.
+    pub action: &'static str,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.component, self.action)
+    }
+}
+
+/// The step-5 report.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Overall mean absolute CPI error, percent.
+    pub overall_error: f64,
+    /// Per-category residuals, worst first.
+    pub categories: Vec<CategoryError>,
+    /// Recommended model fixes, if any category exceeds the threshold.
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl AnalysisReport {
+    /// Whether another "fix error source" round is advised.
+    pub fn needs_another_round(&self) -> bool {
+        !self.recommendations.is_empty()
+    }
+}
+
+/// Error threshold (percent) above which a category triggers a
+/// recommendation.
+pub const ATTENTION_THRESHOLD: f64 = 15.0;
+
+/// Analyses per-benchmark results by category and derives fix
+/// recommendations, reproducing the paper's step-5 reasoning (indirect
+/// branches from `CS1`, FP unit timing from the data-parallel suite,
+/// hashing/prefetching from the memory suite, uninitialised arrays from
+/// `MM`/`M_Dyn`).
+pub fn analyse(results: &[BenchResult]) -> AnalysisReport {
+    let overall = results.iter().map(|r| r.error_pct()).sum::<f64>() / results.len().max(1) as f64;
+
+    let mut categories = Vec::new();
+    for cat in [
+        Category::ControlFlow,
+        Category::DataParallel,
+        Category::Execution,
+        Category::MemoryHierarchy,
+        Category::StoreIntensive,
+    ] {
+        let in_cat: Vec<&BenchResult> = results.iter().filter(|r| r.category == cat).collect();
+        if in_cat.is_empty() {
+            continue;
+        }
+        let mean = in_cat.iter().map(|r| r.error_pct()).sum::<f64>() / in_cat.len() as f64;
+        let worst = in_cat
+            .iter()
+            .max_by(|a, b| {
+                a.error_pct()
+                    .partial_cmp(&b.error_pct())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty category");
+        categories.push(CategoryError {
+            category: cat,
+            mean_error: mean,
+            worst_bench: worst.name.clone(),
+            worst_error: worst.error_pct(),
+        });
+    }
+    categories.sort_by(|a, b| {
+        b.mean_error
+            .partial_cmp(&a.mean_error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut recommendations = Vec::new();
+    for c in &categories {
+        if c.mean_error < ATTENTION_THRESHOLD && c.worst_error < 2.0 * ATTENTION_THRESHOLD {
+            continue;
+        }
+        let rec = match c.category {
+            Category::ControlFlow => Recommendation {
+                component: "branch unit",
+                action: "add indirect-branch prediction support and re-tune the predictor configuration (cf. CS1)",
+            },
+            Category::DataParallel => Recommendation {
+                component: "FP/SIMD execution units",
+                action: "review arithmetic-unit timing/contention and the decoder's dependence information (Capstone-like bugs serialise FP loops)",
+            },
+            Category::Execution => Recommendation {
+                component: "integer execution units",
+                action: "review execution latencies and blocking-divider behaviour; check decoder dependence decoding",
+            },
+            Category::MemoryHierarchy => Recommendation {
+                component: "memory subsystem",
+                action: "offer additional cache index-hashing schemes and prefetchers (stride, GHB) to the tuner; initialise benchmark arrays before simulation",
+            },
+            Category::StoreIntensive => Recommendation {
+                component: "store path",
+                action: "review store-buffer depth and store-to-load forwarding",
+            },
+            // SPEC proxies and probes are validation/estimation sets, not
+            // tuning targets; they carry no component attribution.
+            Category::SpecProxy | Category::Probe => continue,
+        };
+        if !recommendations.contains(&rec) {
+            recommendations.push(rec);
+        }
+    }
+
+    AnalysisReport {
+        overall_error: overall,
+        categories,
+        recommendations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(name: &str, cat: Category, hw: f64, sim: f64) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            category: cat,
+            hw_cpi: hw,
+            sim_cpi: sim,
+        }
+    }
+
+    #[test]
+    fn clean_results_need_no_further_rounds() {
+        let results = vec![
+            bench("CCa", Category::ControlFlow, 1.0, 1.02),
+            bench("DP1d", Category::DataParallel, 2.0, 2.05),
+            bench("MC", Category::MemoryHierarchy, 3.0, 3.1),
+        ];
+        let rep = analyse(&results);
+        assert!(rep.overall_error < 5.0);
+        assert!(!rep.needs_another_round());
+    }
+
+    #[test]
+    fn a_bad_component_is_named_with_a_fix() {
+        let results = vec![
+            bench("CCa", Category::ControlFlow, 1.0, 1.01),
+            bench("CS1", Category::ControlFlow, 1.0, 2.5), // 150% error
+            bench("MC", Category::MemoryHierarchy, 3.0, 3.05),
+        ];
+        let rep = analyse(&results);
+        assert!(rep.needs_another_round());
+        assert_eq!(rep.recommendations[0].component, "branch unit");
+        assert_eq!(rep.categories[0].category, Category::ControlFlow);
+        assert_eq!(rep.categories[0].worst_bench, "CS1");
+        let text = rep.recommendations[0].to_string();
+        assert!(text.contains("indirect"));
+    }
+
+    #[test]
+    fn categories_are_sorted_by_severity() {
+        let results = vec![
+            bench("MC", Category::MemoryHierarchy, 1.0, 1.8),
+            bench("CCa", Category::ControlFlow, 1.0, 1.2),
+            bench("ED1", Category::Execution, 1.0, 4.0),
+        ];
+        let rep = analyse(&results);
+        assert_eq!(rep.categories[0].category, Category::Execution);
+        assert_eq!(rep.categories.last().unwrap().category, Category::ControlFlow);
+    }
+}

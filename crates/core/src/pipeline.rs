@@ -1,0 +1,116 @@
+//! The complete Figure-1 loop, including the "fix error source?" decision.
+//!
+//! [`run_staged`] drives the whole arc programmatically: validate the
+//! *initial* model revision, run the step-5 analysis, and — when the
+//! analysis calls for it — apply the model fixes (the `Fixed` revision)
+//! and re-race, exactly as the authors iterated in Section IV-B.
+
+use crate::analysis::{analyse, AnalysisReport};
+use crate::params::Revision;
+use crate::validator::{ValidationOutcome, Validator, ValidatorSettings};
+use racesim_hw::{HardwarePlatform, MeasureError};
+
+/// One completed revision round: its outcome plus the step-5 report.
+#[derive(Debug)]
+pub struct Round {
+    /// The revision that was validated.
+    pub revision: Revision,
+    /// The validation outcome (untuned/tuned results, tuned platform).
+    pub outcome: ValidationOutcome,
+    /// The step-5 analysis of the tuned model.
+    pub analysis: AnalysisReport,
+}
+
+/// The full staged run: one or two rounds.
+#[derive(Debug)]
+pub struct StagedOutcome {
+    /// Every round executed, in order.
+    pub rounds: Vec<Round>,
+}
+
+impl StagedOutcome {
+    /// The last round (the shipped model).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `run_staged` always produces at least one round.
+    pub fn final_round(&self) -> &Round {
+        self.rounds.last().expect("at least one round")
+    }
+
+    /// Whether a second (fixed-model) round was needed and executed.
+    pub fn model_was_fixed(&self) -> bool {
+        self.rounds.len() > 1
+    }
+}
+
+/// Runs the methodology staged over model revisions: `Initial` first; if
+/// the step-5 analysis recommends model fixes, switch to `Fixed` and
+/// re-run.
+///
+/// `settings.revision` is ignored (the stage machinery sets it per round).
+///
+/// # Errors
+///
+/// Propagates measurement failures from the platform.
+pub fn run_staged(
+    board: &dyn HardwarePlatform,
+    settings: &ValidatorSettings,
+) -> Result<StagedOutcome, MeasureError> {
+    let mut rounds = Vec::new();
+
+    let mut first = settings.clone();
+    first.revision = Revision::Initial;
+    let outcome = Validator::new(board, first).run()?;
+    let report = analyse(&outcome.tuned_results);
+    let needs_fixes = report.needs_another_round();
+    rounds.push(Round {
+        revision: Revision::Initial,
+        outcome,
+        analysis: report,
+    });
+
+    if needs_fixes {
+        let mut second = settings.clone();
+        second.revision = Revision::Fixed;
+        // Fresh seed so the second round is not locked to the first
+        // round's sampling trajectory.
+        second.tuner.seed = settings.tuner.seed.wrapping_add(1);
+        let outcome = Validator::new(board, second).run()?;
+        let report = analyse(&outcome.tuned_results);
+        rounds.push(Round {
+            revision: Revision::Fixed,
+            outcome,
+            analysis: report,
+        });
+    }
+
+    Ok(StagedOutcome { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_hw::ReferenceBoard;
+    use racesim_uarch::CoreKind;
+
+    #[test]
+    fn staged_run_fixes_the_model_and_improves() {
+        let board = ReferenceBoard::firefly_a53();
+        let mut settings = ValidatorSettings::quick(CoreKind::InOrder);
+        settings.tuner.budget = 500;
+        settings.tuner.threads = 4;
+        let staged = run_staged(&board, &settings).expect("staged run");
+        // The initial model has deliberate abstraction errors: the
+        // analysis must trigger the second round.
+        assert!(staged.model_was_fixed(), "initial model must trip step 5");
+        assert_eq!(staged.rounds.len(), 2);
+        assert_eq!(staged.final_round().revision, Revision::Fixed);
+        let first = staged.rounds[0].outcome.tuned_mean_error();
+        let second = staged.final_round().outcome.tuned_mean_error();
+        assert!(
+            second < first,
+            "fixing the model must pay off: {first:.1}% -> {second:.1}%"
+        );
+    }
+}

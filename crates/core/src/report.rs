@@ -1,0 +1,147 @@
+//! Plain-text reporting: ASCII tables, bar charts and CSV emitters used
+//! by the figure/table regeneration binaries.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a fixed-width ASCII table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "| {h:<w$} ");
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for r in rows {
+        for (cell, w) in r.iter().zip(&widths) {
+            let _ = write!(out, "| {cell:<w$} ");
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders a horizontal bar chart of `(label, value)` pairs — the
+/// terminal rendition of the paper's per-benchmark error figures.
+///
+/// Values are scaled so the largest bar spans `width` characters; each
+/// line shows the numeric value with the given unit suffix.
+pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{} {v:.1}{unit}",
+            "#".repeat(n.min(width))
+        );
+    }
+    out
+}
+
+/// Writes rows as CSV (simple quoting: fields containing commas or quotes
+/// are double-quoted).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut text = headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    text.push('\n');
+    for r in rows {
+        text.push_str(&r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        text.push('\n');
+    }
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            &["bench", "error"],
+            &[
+                vec!["MC".into(), "12.5%".into()],
+                vec!["ML2_BW_ld".into(), "3.1%".into()],
+            ],
+        );
+        assert!(t.contains("| bench     | error |"));
+        assert!(t.contains("| MC        | 12.5% |"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let c = bar_chart(
+            &[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)],
+            20,
+            "%",
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let dir = std::env::temp_dir().join("racesim_report_test.csv");
+        write_csv(
+            &dir,
+            &["name", "note"],
+            &[vec!["a,b".into(), "plain".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"a,b\",plain"));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Micro-op cracking.
+//!
+//! Sniper's back-end consumes micro-operations rather than architectural
+//! instructions. Most racesim instructions map 1:1 onto a micro-op; stores
+//! crack into an address-generation micro-op and a data micro-op, mirroring
+//! the STA/STD split of ARM cores.
+
+use racesim_isa::{InstClass, Reg, StaticInst, MAX_SRCS};
+use std::fmt;
+
+/// The functional kind of a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Executes on an integer/FP/SIMD pipe (class tells which).
+    Exec,
+    /// Load micro-op: address generation + cache access.
+    Load,
+    /// Store address-generation micro-op.
+    StoreAddr,
+    /// Store data micro-op.
+    StoreData,
+    /// Control transfer micro-op.
+    Branch,
+    /// Barrier micro-op.
+    Barrier,
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::Exec => "exec",
+            UopKind::Load => "load",
+            UopKind::StoreAddr => "store-addr",
+            UopKind::StoreData => "store-data",
+            UopKind::Branch => "branch",
+            UopKind::Barrier => "barrier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Functional kind.
+    pub kind: UopKind,
+    /// Timing class inherited from the parent instruction.
+    pub class: InstClass,
+    /// Source registers (first `num_srcs` valid).
+    pub srcs: [Reg; MAX_SRCS],
+    /// Number of valid sources.
+    pub num_srcs: u8,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+}
+
+impl MicroOp {
+    /// The valid source registers.
+    pub fn sources(&self) -> &[Reg] {
+        &self.srcs[..self.num_srcs as usize]
+    }
+}
+
+/// A fixed-capacity list of at most two micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOps {
+    ops: [MicroOp; 2],
+    len: u8,
+}
+
+impl MicroOps {
+    fn one(op: MicroOp) -> MicroOps {
+        MicroOps {
+            ops: [op, op],
+            len: 1,
+        }
+    }
+
+    fn two(a: MicroOp, b: MicroOp) -> MicroOps {
+        MicroOps { ops: [a, b], len: 2 }
+    }
+
+    /// The micro-ops as a slice.
+    pub fn as_slice(&self) -> &[MicroOp] {
+        &self.ops[..self.len as usize]
+    }
+
+    /// Number of micro-ops (1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: every instruction cracks into at least one micro-op.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<'a> IntoIterator for &'a MicroOps {
+    type Item = &'a MicroOp;
+    type IntoIter = std::slice::Iter<'a, MicroOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Cracks a decoded instruction into micro-ops.
+///
+/// Stores produce a store-address micro-op (reading the address registers)
+/// followed by a store-data micro-op (reading the stored value); everything
+/// else produces a single micro-op of the appropriate kind.
+///
+/// # Example
+///
+/// ```
+/// use racesim_decoder::{crack, Decoder, UopKind};
+/// use racesim_isa::{asm::Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.str8(Reg::x(0), Reg::x(1), 0);
+/// let p = a.finish();
+/// let inst = Decoder::new().decode(p.code[0])?;
+/// let uops = crack(&inst);
+/// assert_eq!(uops.len(), 2);
+/// assert_eq!(uops.as_slice()[0].kind, UopKind::StoreAddr);
+/// assert_eq!(uops.as_slice()[1].kind, UopKind::StoreData);
+/// # Ok::<(), racesim_decoder::DecodeError>(())
+/// ```
+pub fn crack(inst: &StaticInst) -> MicroOps {
+    let kind = match inst.class {
+        InstClass::Load => UopKind::Load,
+        InstClass::Store => UopKind::StoreAddr,
+        InstClass::Barrier => UopKind::Barrier,
+        c if c.is_branch() => UopKind::Branch,
+        _ => UopKind::Exec,
+    };
+
+    if inst.class == InstClass::Store {
+        // Sources: [value, base, index?] — value is always first (see the
+        // decoder). Address uop reads base/index; data uop reads the value.
+        let mut addr_srcs = [Reg::XZR; MAX_SRCS];
+        let mut n_addr = 0u8;
+        for &r in inst.sources().iter().skip(1) {
+            addr_srcs[n_addr as usize] = r;
+            n_addr += 1;
+        }
+        let addr = MicroOp {
+            kind: UopKind::StoreAddr,
+            class: inst.class,
+            srcs: addr_srcs,
+            num_srcs: n_addr,
+            dst: None,
+        };
+        let mut data_srcs = [Reg::XZR; MAX_SRCS];
+        let mut n_data = 0u8;
+        if let Some(&value) = inst.sources().first() {
+            data_srcs[0] = value;
+            n_data = 1;
+        }
+        let data = MicroOp {
+            kind: UopKind::StoreData,
+            class: inst.class,
+            srcs: data_srcs,
+            num_srcs: n_data,
+            dst: None,
+        };
+        return MicroOps::two(addr, data);
+    }
+
+    MicroOps::one(MicroOp {
+        kind,
+        class: inst.class,
+        srcs: inst.srcs,
+        num_srcs: inst.num_srcs,
+        dst: inst.dests().first().copied(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Decoder;
+    use racesim_isa::{asm::Asm, MemWidth};
+
+    fn decode_one(f: impl FnOnce(&mut Asm)) -> StaticInst {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = a.finish();
+        Decoder::new().decode(p.code[0]).unwrap()
+    }
+
+    #[test]
+    fn alu_cracks_to_one_exec_uop() {
+        let i = decode_one(|a| a.add(Reg::x(0), Reg::x(1), Reg::x(2)));
+        let u = crack(&i);
+        assert_eq!(u.len(), 1);
+        let op = &u.as_slice()[0];
+        assert_eq!(op.kind, UopKind::Exec);
+        assert_eq!(op.dst, Some(Reg::x(0)));
+        assert_eq!(op.sources(), &[Reg::x(1), Reg::x(2)]);
+    }
+
+    #[test]
+    fn load_cracks_to_one_load_uop() {
+        let i = decode_one(|a| a.ldr8(Reg::x(0), Reg::x(1), 0));
+        let u = crack(&i);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.as_slice()[0].kind, UopKind::Load);
+    }
+
+    #[test]
+    fn store_splits_address_and_data_dependencies() {
+        let i = decode_one(|a| a.str(MemWidth::B8, Reg::x(7), Reg::x(8), Reg::x(9), 0));
+        let u = crack(&i);
+        assert_eq!(u.len(), 2);
+        let sta = &u.as_slice()[0];
+        let std_ = &u.as_slice()[1];
+        assert_eq!(sta.kind, UopKind::StoreAddr);
+        assert_eq!(sta.sources(), &[Reg::x(8), Reg::x(9)]);
+        assert_eq!(std_.kind, UopKind::StoreData);
+        assert_eq!(std_.sources(), &[Reg::x(7)]);
+    }
+
+    #[test]
+    fn branch_cracks_to_branch_uop() {
+        let mut a = Asm::new();
+        let l = a.here();
+        a.b(l);
+        let p = a.finish();
+        let i = Decoder::new().decode(p.code[0]).unwrap();
+        let u = crack(&i);
+        assert_eq!(u.as_slice()[0].kind, UopKind::Branch);
+    }
+
+    #[test]
+    fn iteration_matches_slice() {
+        let i = decode_one(|a| a.str8(Reg::x(0), Reg::x(1), 0));
+        let u = crack(&i);
+        assert_eq!(u.into_iter().count(), 2);
+        assert!(!u.is_empty());
+    }
+}

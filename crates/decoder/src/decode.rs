@@ -1,0 +1,451 @@
+//! Word → [`StaticInst`] decoding.
+
+use racesim_isa::{EncodedInst, MemWidth, Opcode, Reg, StaticInst, MAX_DSTS, MAX_SRCS};
+use std::fmt;
+
+/// Errors produced while decoding an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name a known opcode.
+    UnknownOpcode(u8),
+    /// A register field does not name an architectural register.
+    BadRegister(u8),
+    /// The condition field is out of range for a conditional instruction.
+    BadCondition(u8),
+    /// The width field is invalid for a memory instruction.
+    BadWidth(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register field {r}"),
+            DecodeError::BadCondition(c) => write!(f, "invalid condition field {c}"),
+            DecodeError::BadWidth(w) => write!(f, "invalid memory width field {w}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deliberate dependency-decoding bugs, mirroring the Capstone issues the
+/// paper's methodology uncovered (see the crate-level docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quirks {
+    /// `movz` reports its destination as an extra source.
+    pub mov_dest_is_source: bool,
+    /// Scalar/SIMD FP arithmetic reports its destination as an extra source.
+    pub fp_dest_is_source: bool,
+}
+
+impl Quirks {
+    /// The fixed decoder: no known bugs.
+    pub fn none() -> Quirks {
+        Quirks::default()
+    }
+
+    /// The buggy decoder the validation flow starts from.
+    pub fn capstone_like() -> Quirks {
+        Quirks {
+            mov_dest_is_source: true,
+            fp_dest_is_source: true,
+        }
+    }
+
+    /// Whether any quirk is enabled.
+    pub fn any(&self) -> bool {
+        self.mov_dest_is_source || self.fp_dest_is_source
+    }
+}
+
+/// Instruction decoder.
+///
+/// Construct with [`Decoder::new`] (correct semantics) or
+/// [`Decoder::with_quirks`] to reproduce the buggy-library scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder {
+    quirks: Quirks,
+}
+
+struct RegListBuilder {
+    srcs: [Reg; MAX_SRCS],
+    num_srcs: u8,
+    dsts: [Reg; MAX_DSTS],
+    num_dsts: u8,
+}
+
+impl RegListBuilder {
+    fn new() -> RegListBuilder {
+        RegListBuilder {
+            srcs: [Reg::XZR; MAX_SRCS],
+            num_srcs: 0,
+            dsts: [Reg::XZR; MAX_DSTS],
+            num_dsts: 0,
+        }
+    }
+
+    /// Records a source register; reads of the zero register carry no
+    /// dependency and are dropped.
+    fn src(&mut self, r: Reg) {
+        if r.is_zero() {
+            return;
+        }
+        debug_assert!((self.num_srcs as usize) < MAX_SRCS);
+        self.srcs[self.num_srcs as usize] = r;
+        self.num_srcs += 1;
+    }
+
+    /// Records a source register even if it is the zero register (quirk
+    /// paths use this to create false dependencies).
+    fn src_raw(&mut self, r: Reg) {
+        debug_assert!((self.num_srcs as usize) < MAX_SRCS);
+        self.srcs[self.num_srcs as usize] = r;
+        self.num_srcs += 1;
+    }
+
+    /// Records a destination register; writes to the zero register are
+    /// discarded.
+    fn dst(&mut self, r: Reg) {
+        if r.is_zero() {
+            return;
+        }
+        debug_assert!((self.num_dsts as usize) < MAX_DSTS);
+        self.dsts[self.num_dsts as usize] = r;
+        self.num_dsts += 1;
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder with correct dependency semantics.
+    pub fn new() -> Decoder {
+        Decoder {
+            quirks: Quirks::none(),
+        }
+    }
+
+    /// Creates a decoder with the given [`Quirks`].
+    pub fn with_quirks(quirks: Quirks) -> Decoder {
+        Decoder { quirks }
+    }
+
+    /// The quirks this decoder applies.
+    pub fn quirks(&self) -> Quirks {
+        self.quirks
+    }
+
+    /// Decodes one instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the opcode, a register field, the
+    /// condition, or the memory width is invalid.
+    pub fn decode(&self, word: EncodedInst) -> Result<StaticInst, DecodeError> {
+        let op = word
+            .opcode()
+            .ok_or(DecodeError::UnknownOpcode((word.word() & 0xff) as u8))?;
+        let rd = Reg::from_index(word.rd_bits()).ok_or(DecodeError::BadRegister(word.rd_bits()))?;
+        let rn = Reg::from_index(word.rn_bits()).ok_or(DecodeError::BadRegister(word.rn_bits()))?;
+        let rm = Reg::from_index(word.rm_bits()).ok_or(DecodeError::BadRegister(word.rm_bits()))?;
+        let imm = word.imm();
+
+        let mut regs = RegListBuilder::new();
+        let mut cond = None;
+        let mut width = None;
+        let mut movk_slot = 0u8;
+
+        use Opcode::*;
+        match op {
+            Nop | Dsb | Halt => {}
+            Add | Sub | And | Orr | Eor | Mul | Udiv | Sdiv => {
+                regs.src(rn);
+                regs.src(rm);
+                regs.dst(rd);
+            }
+            AddI | SubI | Lsl | Lsr | Asr => {
+                regs.src(rn);
+                regs.dst(rd);
+            }
+            Movz => {
+                if self.quirks.mov_dest_is_source {
+                    // Capstone-like bug: the move target is reported as read.
+                    regs.src_raw(rd);
+                }
+                regs.dst(rd);
+            }
+            Movk => {
+                regs.src(rn); // rn == rd by construction: movk patches.
+                regs.dst(rd);
+                movk_slot = word.aux() & 0x3;
+            }
+            Cmp => {
+                regs.src(rn);
+                regs.src(rm);
+                regs.dst(Reg::NZCV);
+            }
+            CmpI => {
+                regs.src(rn);
+                regs.dst(Reg::NZCV);
+            }
+            Csel => {
+                cond = Some(
+                    word.cond()
+                        .ok_or(DecodeError::BadCondition(word.aux()))?,
+                );
+                regs.src(rn);
+                regs.src(rm);
+                regs.src(Reg::NZCV);
+                regs.dst(rd);
+            }
+            Fadd | Fsub | Fmul | Fdiv | Vadd | Vmul | Vfadd | Vfmul => {
+                regs.src(rn);
+                regs.src(rm);
+                if self.quirks.fp_dest_is_source {
+                    regs.src_raw(rd);
+                }
+                regs.dst(rd);
+            }
+            Vfma => {
+                // Genuine accumulator: vd is architecturally both read and
+                // written.
+                regs.src(rn);
+                regs.src(rm);
+                regs.src(rd);
+                regs.dst(rd);
+            }
+            Fsqrt | Scvtf | Fcvtzs | Fmov | FmovI => {
+                regs.src(rn);
+                if self.quirks.fp_dest_is_source && matches!(op, Fsqrt | Fmov) {
+                    regs.src_raw(rd);
+                }
+                regs.dst(rd);
+            }
+            Ldr => {
+                width = Some(
+                    MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?,
+                );
+                regs.src(rn);
+                regs.src(rm);
+                regs.dst(rd);
+            }
+            Str => {
+                width = Some(
+                    MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?,
+                );
+                // The stored value travels in the rd field.
+                regs.src(rd);
+                regs.src(rn);
+                regs.src(rm);
+            }
+            B => {}
+            Bcond => {
+                cond = Some(
+                    word.cond()
+                        .ok_or(DecodeError::BadCondition(word.aux()))?,
+                );
+                regs.src(Reg::NZCV);
+            }
+            Cbz | Cbnz => {
+                regs.src(rn);
+            }
+            Br => {
+                regs.src(rn);
+            }
+            Bl => {
+                regs.dst(Reg::LR);
+            }
+            Blr => {
+                regs.src(rn);
+                regs.dst(Reg::LR);
+            }
+            Ret => {
+                regs.src(rn); // rn == x30 by construction.
+            }
+        }
+
+        Ok(StaticInst {
+            opcode: op,
+            class: op.class(),
+            cond,
+            width,
+            srcs: regs.srcs,
+            num_srcs: regs.num_srcs,
+            dsts: regs.dsts,
+            num_dsts: regs.num_dsts,
+            imm,
+            movk_slot,
+        })
+    }
+
+    /// Decodes an entire program's code section.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered, with its index.
+    pub fn decode_all(
+        &self,
+        code: &[EncodedInst],
+    ) -> Result<Vec<StaticInst>, (usize, DecodeError)> {
+        code.iter()
+            .enumerate()
+            .map(|(i, w)| self.decode(*w).map_err(|e| (i, e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_isa::{asm::Asm, Cond, InstClass};
+
+    fn one(f: impl FnOnce(&mut Asm)) -> StaticInst {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = a.finish();
+        Decoder::new().decode(p.code[0]).expect("decode")
+    }
+
+    #[test]
+    fn alu_three_operand() {
+        let i = one(|a| a.add(Reg::x(0), Reg::x(1), Reg::x(2)));
+        assert_eq!(i.class, InstClass::IntAlu);
+        assert_eq!(i.sources(), &[Reg::x(1), Reg::x(2)]);
+        assert_eq!(i.dests(), &[Reg::x(0)]);
+    }
+
+    #[test]
+    fn zero_register_reads_carry_no_dependency() {
+        let i = one(|a| a.add(Reg::x(0), Reg::XZR, Reg::x(2)));
+        assert_eq!(i.sources(), &[Reg::x(2)]);
+        let i = one(|a| a.mov(Reg::x(0), Reg::x(5))); // orr x0, x5, xzr
+        assert_eq!(i.sources(), &[Reg::x(5)]);
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let i = one(|a| a.add(Reg::XZR, Reg::x(1), Reg::x(2)));
+        assert_eq!(i.dests(), &[]);
+    }
+
+    #[test]
+    fn compare_writes_flags_and_branch_reads_them() {
+        let i = one(|a| a.cmp(Reg::x(1), Reg::x(2)));
+        assert_eq!(i.dests(), &[Reg::NZCV]);
+        let mut a = Asm::new();
+        let l = a.here();
+        a.bcond(Cond::Ne, l);
+        let p = a.finish();
+        let i = Decoder::new().decode(p.code[0]).unwrap();
+        assert_eq!(i.sources(), &[Reg::NZCV]);
+        assert_eq!(i.cond, Some(Cond::Ne));
+        assert_eq!(i.imm, 0);
+    }
+
+    #[test]
+    fn csel_reads_both_inputs_and_flags() {
+        let i = one(|a| a.csel(Cond::Lt, Reg::x(0), Reg::x(1), Reg::x(2)));
+        assert_eq!(i.sources(), &[Reg::x(1), Reg::x(2), Reg::NZCV]);
+        assert_eq!(i.cond, Some(Cond::Lt));
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let i = one(|a| a.ldr(MemWidth::B4, Reg::x(0), Reg::x(1), Reg::x(2), 8));
+        assert_eq!(i.class, InstClass::Load);
+        assert_eq!(i.width, Some(MemWidth::B4));
+        assert_eq!(i.sources(), &[Reg::x(1), Reg::x(2)]);
+        assert_eq!(i.dests(), &[Reg::x(0)]);
+        assert_eq!(i.imm, 8);
+
+        let i = one(|a| a.str8(Reg::x(3), Reg::x(4), -8));
+        assert_eq!(i.class, InstClass::Store);
+        assert_eq!(i.sources(), &[Reg::x(3), Reg::x(4)]);
+        assert_eq!(i.dests(), &[]);
+        assert_eq!(i.imm, -8);
+    }
+
+    #[test]
+    fn vector_load_uses_vector_destination() {
+        let i = one(|a| a.ldr(MemWidth::B16, Reg::v(3), Reg::x(1), Reg::XZR, 0));
+        assert_eq!(i.dests(), &[Reg::v(3)]);
+        assert_eq!(i.width, Some(MemWidth::B16));
+    }
+
+    #[test]
+    fn calls_and_returns_use_the_link_register() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.bl(f);
+        a.bind(f);
+        a.ret();
+        let p = a.finish();
+        let d = Decoder::new();
+        let call = d.decode(p.code[0]).unwrap();
+        assert_eq!(call.class, InstClass::BranchCall);
+        assert_eq!(call.dests(), &[Reg::LR]);
+        let ret = d.decode(p.code[1]).unwrap();
+        assert_eq!(ret.class, InstClass::BranchRet);
+        assert_eq!(ret.sources(), &[Reg::LR]);
+    }
+
+    #[test]
+    fn vfma_is_a_genuine_accumulator() {
+        let i = one(|a| a.vfma(Reg::v(0), Reg::v(1), Reg::v(2)));
+        assert_eq!(i.sources(), &[Reg::v(1), Reg::v(2), Reg::v(0)]);
+        assert_eq!(i.dests(), &[Reg::v(0)]);
+    }
+
+    #[test]
+    fn quirky_decoder_serialises_moves_and_fp() {
+        let mut a = Asm::new();
+        a.movz(Reg::x(1), 7);
+        a.fadd(Reg::v(0), Reg::v(1), Reg::v(2));
+        let p = a.finish();
+        let quirky = Decoder::with_quirks(Quirks::capstone_like());
+        let fixed = Decoder::new();
+
+        let m_q = quirky.decode(p.code[0]).unwrap();
+        let m_f = fixed.decode(p.code[0]).unwrap();
+        assert_eq!(m_f.sources(), &[]);
+        assert_eq!(m_q.sources(), &[Reg::x(1)], "false dep on mov target");
+
+        let f_q = quirky.decode(p.code[1]).unwrap();
+        let f_f = fixed.decode(p.code[1]).unwrap();
+        assert_eq!(f_f.sources(), &[Reg::v(1), Reg::v(2)]);
+        assert_eq!(f_q.sources(), &[Reg::v(1), Reg::v(2), Reg::v(0)]);
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let e = Decoder::new().decode(EncodedInst(0xfe));
+        assert_eq!(e, Err(DecodeError::UnknownOpcode(0xfe)));
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        // Opcode Add with rd field = 200 (invalid).
+        let word = EncodedInst((Opcode::Add.bits() as u64) | (200u64 << 12));
+        assert_eq!(
+            Decoder::new().decode(word),
+            Err(DecodeError::BadRegister(200))
+        );
+    }
+
+    #[test]
+    fn bad_width_is_an_error() {
+        // Ldr with width field 9.
+        let word = EncodedInst((Opcode::Ldr.bits() as u64) | (9u64 << 8));
+        assert_eq!(Decoder::new().decode(word), Err(DecodeError::BadWidth(9)));
+    }
+
+    #[test]
+    fn decode_all_reports_the_failing_index() {
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        let mut p = a.finish();
+        p.code.push(EncodedInst(0xfd));
+        let err = Decoder::new().decode_all(&p.code).unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+}

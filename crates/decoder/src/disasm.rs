@@ -1,0 +1,129 @@
+//! Textual disassembly, for debugging and golden tests.
+
+use crate::Decoder;
+use racesim_isa::{EncodedInst, Opcode, Reg};
+
+/// Disassembles one instruction word into assembler-like text.
+///
+/// Unknown words render as `.word <hex>`; field errors fall back to a raw
+/// rendering rather than failing, since disassembly is a debugging aid.
+///
+/// # Example
+///
+/// ```
+/// use racesim_decoder::disasm;
+/// use racesim_isa::{asm::Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.add(Reg::x(0), Reg::x(1), Reg::x(2));
+/// let p = a.finish();
+/// assert_eq!(disasm(p.code[0]), "add x0, x1, x2");
+/// ```
+pub fn disasm(word: EncodedInst) -> String {
+    let dec = Decoder::new();
+    let Some(op) = word.opcode() else {
+        return format!(".word {:#018x}", word.word());
+    };
+    let Ok(inst) = dec.decode(word) else {
+        return format!(".word {:#018x} ; bad {op}", word.word());
+    };
+    let rd = Reg::from_index(word.rd_bits());
+    let rn = Reg::from_index(word.rn_bits());
+    let rm = Reg::from_index(word.rm_bits());
+    let imm = word.imm();
+    let r = |r: Option<Reg>| r.map(|r| r.to_string()).unwrap_or_else(|| "?".into());
+
+    use Opcode::*;
+    match op {
+        Nop | Dsb | Halt | Ret => op.mnemonic().to_string(),
+        Add | Sub | And | Orr | Eor | Mul | Udiv | Sdiv | Fadd | Fsub | Fmul | Fdiv | Vadd
+        | Vmul | Vfadd | Vfmul | Vfma => {
+            format!("{op} {}, {}, {}", r(rd), r(rn), r(rm))
+        }
+        AddI | SubI => format!("{op} {}, {}, #{imm}", r(rd), r(rn)),
+        Lsl | Lsr | Asr => format!("{op} {}, {}, #{imm}", r(rd), r(rn)),
+        Movz => format!("{op} {}, #{imm}", r(rd)),
+        Movk => format!("{op} {}, #{imm}, lsl #{}", r(rd), 16 * inst.movk_slot),
+        Cmp => format!("{op} {}, {}", r(rn), r(rm)),
+        CmpI => format!("{op} {}, #{imm}", r(rn)),
+        Csel => format!(
+            "csel.{} {}, {}, {}",
+            inst.cond.expect("csel has a condition"),
+            r(rd),
+            r(rn),
+            r(rm)
+        ),
+        Fsqrt | Scvtf | Fcvtzs | Fmov | FmovI => format!("{op} {}, {}", r(rd), r(rn)),
+        Ldr | Str => {
+            let w = inst.width.expect("memory op has a width");
+            let idx = match rm {
+                Some(rm) if !rm.is_zero() => format!(", {rm}"),
+                _ => String::new(),
+            };
+            format!("{op}.{w} {}, [{}{idx}, #{imm}]", r(rd), r(rn))
+        }
+        B => format!("b {imm:+}"),
+        Bcond => format!("b.{} {imm:+}", inst.cond.expect("b.cond has a condition")),
+        Cbz | Cbnz => format!("{op} {}, {imm:+}", r(rn)),
+        Br => format!("br {}", r(rn)),
+        Bl => format!("bl {imm:+}"),
+        Blr => format!("blr {}", r(rn)),
+    }
+}
+
+/// Disassembles a code slice, one instruction per line, with indices.
+pub fn disasm_all(code: &[EncodedInst]) -> String {
+    let mut out = String::new();
+    for (i, w) in code.iter().enumerate() {
+        out.push_str(&format!("{i:6}: {}\n", disasm(*w)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_isa::{asm::Asm, Cond, MemWidth};
+
+    #[test]
+    fn representative_lines() {
+        let mut a = Asm::new();
+        a.add(Reg::x(0), Reg::x(1), Reg::x(2));
+        a.addi(Reg::x(3), Reg::x(3), 8);
+        a.movz(Reg::x(4), 100);
+        a.cmp(Reg::x(0), Reg::x(4));
+        let l = a.here();
+        a.bcond(Cond::Ne, l);
+        a.ldr(MemWidth::B4, Reg::x(5), Reg::x(6), Reg::x(7), 12);
+        a.str8(Reg::x(5), Reg::x(6), 0);
+        a.csel(Cond::Lt, Reg::x(1), Reg::x(2), Reg::x(3));
+        a.halt();
+        let p = a.finish();
+        let lines: Vec<String> = p.code.iter().map(|w| disasm(*w)).collect();
+        assert_eq!(lines[0], "add x0, x1, x2");
+        assert_eq!(lines[1], "addi x3, x3, #8");
+        assert_eq!(lines[2], "movz x4, #100");
+        assert_eq!(lines[3], "cmp x0, x4");
+        assert_eq!(lines[4], "b.ne +0");
+        assert_eq!(lines[5], "ldr.4b x5, [x6, x7, #12]");
+        assert_eq!(lines[6], "str.8b x5, [x6, #0]");
+        assert_eq!(lines[7], "csel.lt x1, x2, x3");
+        assert_eq!(lines[8], "halt");
+    }
+
+    #[test]
+    fn unknown_word_renders_as_raw() {
+        assert!(disasm(EncodedInst(0xff)).starts_with(".word"));
+    }
+
+    #[test]
+    fn disasm_all_numbers_lines() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let p = a.finish();
+        let text = disasm_all(&p.code);
+        assert!(text.contains("0: nop"));
+        assert!(text.contains("1: halt"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # racesim-decoder
+//!
+//! Decoder library for the racesim micro-ISA — the project's stand-in for
+//! [Capstone], which the paper used to decode ARM AArch64 instructions for
+//! Sniper's new front-end.
+//!
+//! The decoder turns raw [`racesim_isa::EncodedInst`] words into fully
+//! resolved [`racesim_isa::StaticInst`]s: timing class, explicit
+//! source/destination register lists, and decoded operands. It also provides
+//! micro-op cracking ([`crack`]) and a disassembler ([`disasm`]).
+//!
+//! ## Reproducing the paper's decoder bugs
+//!
+//! Section IV-B of the paper reports that *"relevant bugs in the Capstone
+//! decoder library … led to errors in modeling dependencies across
+//! instructions"*, which the validation methodology exposed. To reproduce
+//! that part of the study, [`Quirks::capstone_like`] deliberately
+//! re-introduces two dependency-decoding bugs:
+//!
+//! * register-move immediates (`movz`) report the destination register as a
+//!   *source*, serialising chains of independent moves;
+//! * FP/SIMD arithmetic reports the destination as an extra source,
+//!   serialising independent floating-point and data-parallel loops.
+//!
+//! The fixed decoder is [`Quirks::none`]. The validation flow in
+//! `racesim-core` starts with the quirky decoder and switches to the fixed
+//! one during the "fix error source" step, exactly as the authors did.
+//!
+//! [Capstone]: http://www.capstone-engine.org/
+//!
+//! # Example
+//!
+//! ```
+//! use racesim_decoder::Decoder;
+//! use racesim_isa::{asm::Asm, InstClass, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.add(Reg::x(0), Reg::x(1), Reg::x(2));
+//! let p = a.finish();
+//!
+//! let dec = Decoder::new();
+//! let inst = dec.decode(p.code[0])?;
+//! assert_eq!(inst.class, InstClass::IntAlu);
+//! assert_eq!(inst.sources(), &[Reg::x(1), Reg::x(2)]);
+//! assert_eq!(inst.dests(), &[Reg::x(0)]);
+//! # Ok::<(), racesim_decoder::DecodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod crack;
+mod decode;
+mod disasm;
+
+pub use crack::{crack, MicroOp, MicroOps, UopKind};
+pub use decode::{DecodeError, Decoder, Quirks};
+pub use disasm::{disasm, disasm_all};

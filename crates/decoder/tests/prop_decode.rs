@@ -1,0 +1,124 @@
+//! Property tests: every instruction the assembler can emit decodes
+//! cleanly, and the decoded register lists respect their bounds.
+
+use proptest::prelude::*;
+use racesim_decoder::{crack, disasm, Decoder, Quirks};
+use racesim_isa::{asm::Asm, Cond, MemWidth, Reg};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u8, u8, u8),
+    AddI(u8, i32),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Movz(u8, u32),
+    Cmp(u8, u8),
+    Csel(u8, u8, u8, u8),
+    Fadd(u8, u8, u8),
+    Vfma(u8, u8, u8),
+    Ldr(u8, u8, u8, i32, u8),
+    Str(u8, u8, i32, u8),
+    Nop,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let r = 0u8..30;
+    let v = 0u8..31;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Add(a, b, c)),
+        (r.clone(), -1000i32..1000).prop_map(|(a, i)| Op::AddI(a, i)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Mul(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Div(a, b, c)),
+        (r.clone(), 0u32..1 << 20).prop_map(|(a, i)| Op::Movz(a, i)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| Op::Cmp(a, b)),
+        (0u8..8, r.clone(), r.clone(), r.clone()).prop_map(|(c, a, b, d)| Op::Csel(c, a, b, d)),
+        (v.clone(), v.clone(), v.clone()).prop_map(|(a, b, c)| Op::Fadd(a, b, c)),
+        (v.clone(), v.clone(), v).prop_map(|(a, b, c)| Op::Vfma(a, b, c)),
+        (r.clone(), r.clone(), r.clone(), -256i32..256, 0u8..5)
+            .prop_map(|(t, b, i, o, w)| Op::Ldr(t, b, i, o, w)),
+        (r.clone(), r, -256i32..256, 0u8..4).prop_map(|(t, b, o, w)| Op::Str(t, b, o, w)),
+        Just(Op::Nop),
+    ]
+}
+
+fn width(w: u8) -> MemWidth {
+    match w {
+        0 => MemWidth::B1,
+        1 => MemWidth::B2,
+        2 => MemWidth::B4,
+        3 => MemWidth::B8,
+        _ => MemWidth::B16,
+    }
+}
+
+fn emit(a: &mut Asm, op: &Op) {
+    match *op {
+        Op::Add(d, n, m) => a.add(Reg::x(d), Reg::x(n), Reg::x(m)),
+        Op::AddI(d, i) => a.addi(Reg::x(d), Reg::x(d), i as i64),
+        Op::Mul(d, n, m) => a.mul(Reg::x(d), Reg::x(n), Reg::x(m)),
+        Op::Div(d, n, m) => a.udiv(Reg::x(d), Reg::x(n), Reg::x(m)),
+        Op::Movz(d, i) => a.movz(Reg::x(d), i as i64),
+        Op::Cmp(n, m) => a.cmp(Reg::x(n), Reg::x(m)),
+        Op::Csel(c, d, n, m) => a.csel(
+            Cond::from_bits(c).unwrap(),
+            Reg::x(d),
+            Reg::x(n),
+            Reg::x(m),
+        ),
+        Op::Fadd(d, n, m) => a.fadd(Reg::v(d), Reg::v(n), Reg::v(m)),
+        Op::Vfma(d, n, m) => a.vfma(Reg::v(d), Reg::v(n), Reg::v(m)),
+        Op::Ldr(t, b, i, o, w) => a.ldr(width(w), Reg::x(t), Reg::x(b), Reg::x(i), o as i64),
+        Op::Str(t, b, o, w) => a.str(width(w), Reg::x(t), Reg::x(b), Reg::XZR, o as i64),
+        Op::Nop => a.nop(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn assembled_programs_decode_and_crack(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut a = Asm::new();
+        for op in &ops {
+            emit(&mut a, op);
+        }
+        let p = a.finish();
+        for quirks in [Quirks::none(), Quirks::capstone_like()] {
+            let dec = Decoder::with_quirks(quirks);
+            let insts = dec.decode_all(&p.code).expect("assembler output decodes");
+            for (word, inst) in p.code.iter().zip(&insts) {
+                // Register lists stay within bounds and contain valid regs.
+                prop_assert!(inst.num_srcs as usize <= racesim_isa::MAX_SRCS);
+                prop_assert!(inst.num_dsts as usize <= racesim_isa::MAX_DSTS);
+                // Memory ops carry a width; others do not.
+                prop_assert_eq!(inst.width.is_some(), inst.is_memory());
+                // Disassembly is never empty.
+                prop_assert!(!disasm(*word).is_empty());
+                // Cracking yields 1 or 2 micro-ops, 2 only for stores.
+                let uops = crack(inst);
+                prop_assert!(uops.len() == 1 || (uops.len() == 2 && inst.is_store()));
+            }
+        }
+    }
+
+    /// Quirky decoding only ever ADDS sources, never removes or changes
+    /// destinations.
+    #[test]
+    fn quirks_are_additive(ops in proptest::collection::vec(arb_op(), 1..100)) {
+        let mut a = Asm::new();
+        for op in &ops {
+            emit(&mut a, op);
+        }
+        let p = a.finish();
+        let fixed = Decoder::new().decode_all(&p.code).unwrap();
+        let quirky = Decoder::with_quirks(Quirks::capstone_like())
+            .decode_all(&p.code)
+            .unwrap();
+        for (f, q) in fixed.iter().zip(&quirky) {
+            prop_assert!(q.num_srcs >= f.num_srcs);
+            prop_assert_eq!(f.dests(), q.dests());
+            // Every true source survives in the quirky view.
+            for s in f.sources() {
+                prop_assert!(q.sources().contains(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! System-level effects a board exhibits but a user-level core model does
+//! not capture.
+
+/// Deterministic system effects applied on top of the hidden
+/// configuration's timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEffects {
+    /// OS timer tick period, in cycles (0 disables).
+    pub timer_interval: u64,
+    /// Cycles stolen per timer tick.
+    pub timer_cost: u64,
+    /// DRAM refresh period, in cycles (0 disables).
+    pub refresh_interval: u64,
+    /// Cycles stolen per refresh.
+    pub refresh_cost: u64,
+    /// First-touch cost per fresh page of an *uninitialised* array
+    /// (page fault + kernel zeroing).
+    pub page_touch_cost: u64,
+    /// Amplitude of deterministic pseudo-noise on the cycle count
+    /// (e.g. 0.005 = ±0.5 %), seeded by the workload name.
+    pub noise_amplitude: f64,
+}
+
+impl SystemEffects {
+    /// Effects calibrated for the little (A53) cluster.
+    pub fn little_cluster() -> SystemEffects {
+        SystemEffects {
+            timer_interval: 400_000,
+            timer_cost: 2_500,
+            refresh_interval: 60_000,
+            refresh_cost: 110,
+            page_touch_cost: 900,
+            noise_amplitude: 0.004,
+        }
+    }
+
+    /// Effects calibrated for the big (A72) cluster: the deeper,
+    /// speculative core suffers proportionally more system interference.
+    pub fn big_cluster() -> SystemEffects {
+        SystemEffects {
+            timer_interval: 350_000,
+            timer_cost: 5_000,
+            refresh_interval: 55_000,
+            refresh_cost: 200,
+            page_touch_cost: 1_300,
+            noise_amplitude: 0.008,
+        }
+    }
+
+    /// No effects (for differential testing).
+    pub fn none() -> SystemEffects {
+        SystemEffects {
+            timer_interval: 0,
+            timer_cost: 0,
+            refresh_interval: 0,
+            refresh_cost: 0,
+            page_touch_cost: 0,
+            noise_amplitude: 0.0,
+        }
+    }
+
+    /// Applies the interval-based overheads to a raw cycle count.
+    pub fn inflate_cycles(&self, cycles: u64) -> u64 {
+        let mut extra = 0u64;
+        if self.timer_interval > 0 {
+            extra += (cycles / self.timer_interval) * self.timer_cost;
+        }
+        if self.refresh_interval > 0 {
+            extra += (cycles / self.refresh_interval) * self.refresh_cost;
+        }
+        cycles + extra
+    }
+
+    /// The deterministic noise multiplier for a workload name.
+    pub fn noise_factor(&self, name: &str) -> f64 {
+        if self.noise_amplitude == 0.0 {
+            return 1.0;
+        }
+        // FNV-1a, then map to [-1, 1).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.noise_amplitude * (2.0 * unit - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflation_is_monotonic_and_bounded() {
+        let e = SystemEffects::little_cluster();
+        let base = 10_000_000;
+        let inflated = e.inflate_cycles(base);
+        assert!(inflated > base);
+        let overhead = (inflated - base) as f64 / base as f64;
+        assert!(overhead < 0.05, "system overhead stays below 5%");
+        assert!(SystemEffects::none().inflate_cycles(base) == base);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let e = SystemEffects::big_cluster();
+        let f1 = e.noise_factor("mcf");
+        let f2 = e.noise_factor("mcf");
+        assert_eq!(f1, f2);
+        assert_ne!(e.noise_factor("mcf"), e.noise_factor("povray"));
+        for name in ["a", "b", "c", "longer-name"] {
+            let f = e.noise_factor(name);
+            assert!((f - 1.0).abs() <= e.noise_amplitude + 1e-12, "{f}");
+        }
+        assert_eq!(SystemEffects::none().noise_factor("x"), 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # racesim-isa
+//!
+//! An AArch64-inspired micro instruction-set architecture used throughout the
+//! `racesim` project.
+//!
+//! The paper this project reproduces ("Racing to Hardware-Validated
+//! Simulation", ISPASS 2019) overhauls the Sniper simulator with an ARM
+//! AArch64 front-end. Since we cannot run real AArch64 binaries here, this
+//! crate defines a compact, fully specified ISA with the same *timing-relevant*
+//! structure as AArch64: integer/FP/SIMD register files, condition flags,
+//! loads/stores with base+index+offset addressing, direct/conditional/indirect
+//! branches, calls and returns.
+//!
+//! The crate provides:
+//!
+//! * register names and classes ([`Reg`], [`RegClass`]),
+//! * condition codes ([`Cond`]),
+//! * opcodes ([`Opcode`]) and timing classes ([`InstClass`]),
+//! * a fixed 64-bit instruction encoding ([`EncodedInst`]),
+//! * decoded representations ([`StaticInst`], [`DynInst`]),
+//! * an assembler with labels ([`asm::Asm`]) producing [`Program`]s.
+//!
+//! Decoding encoded words into [`StaticInst`] is the job of the sibling
+//! `racesim-decoder` crate (the "Capstone substitute"); the split mirrors the
+//! paper's separation between instruction representation and the decoder
+//! library.
+//!
+//! # Example
+//!
+//! ```
+//! use racesim_isa::{asm::Asm, Reg, Opcode};
+//!
+//! let mut a = Asm::new();
+//! let top = a.label();
+//! a.movz(Reg::x(0), 100);
+//! a.bind(top);
+//! a.subi(Reg::x(0), Reg::x(0), 1);
+//! a.cbnz(Reg::x(0), top);
+//! a.halt();
+//! let program = a.finish();
+//! assert_eq!(program.code.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+mod class;
+mod cond;
+mod encode;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+
+pub use class::InstClass;
+pub use cond::{cond_flags_for_cmp, Cond, Flags};
+pub use encode::{EncodedInst, EncodeError};
+pub use inst::{DynInst, MemWidth, StaticInst, MAX_DSTS, MAX_SRCS};
+pub use opcode::Opcode;
+pub use program::{Program, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, DEFAULT_STACK_TOP};
+pub use reg::{Reg, RegClass};
+
+/// Architectural size, in bytes, of one instruction.
+///
+/// Like AArch64 the ISA presents fixed 4-byte instructions to the memory
+/// system (instruction-cache behaviour depends on it), even though the
+/// storage encoding of this crate uses 8-byte words.
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,45 @@
+//! # racesim-kernels
+//!
+//! Workloads: the targeted micro-benchmark suite, lmbench-style latency
+//! probes and SPEC CPU2017 proxy workloads, together with the functional
+//! front-end that records their instruction traces.
+//!
+//! The paper tunes against the `microbench` suite — "a set of 40
+//! micro-benchmarks … classified into five categories: (1) control flow,
+//! (2) data-parallel and floating-point operations, (3) execution with
+//! stress on inter-instruction dependencies, (4) memory operations
+//! stressing various levels of the hierarchy, and (5) store-intensive
+//! operations" (Table I) — and validates on SPEC CPU2017 main-loop
+//! regions (Table II). Neither is available here, so this crate
+//! re-implements all 40 kernels for the racesim micro-ISA and provides
+//! statistically profiled SPEC *proxies* with matching per-application
+//! character (instruction mix, working set, branch predictability, ILP).
+//!
+//! The [`emu`] module is the DynamoRIO stand-in: a functional emulator
+//! that executes assembled [`racesim_isa::Program`]s and records
+//! SIFT-style traces, once per workload, exactly like the paper's
+//! trace-generation flow.
+//!
+//! # Example
+//!
+//! ```
+//! use racesim_kernels::{microbench_suite, Scale};
+//!
+//! let suite = microbench_suite(Scale::TINY);
+//! assert_eq!(suite.len(), 40);
+//! let trace = suite[0].trace().expect("kernels are self-contained");
+//! assert!(trace.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod emu;
+mod micro;
+pub mod probes;
+pub mod spec;
+mod workload;
+
+pub use micro::{microbench_suite, microbench_suite_initialized, table1_reference_counts};
+pub use spec::{spec_suite, AppProfile};
+pub use workload::{Category, Scale, Workload};

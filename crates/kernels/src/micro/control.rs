@@ -1,0 +1,402 @@
+//! Control-flow micro-benchmarks (Table I, 12 kernels).
+//!
+//! "The control flow benchmarks stress the branch unit in various
+//! scenarios such as easy-to-predict branches, heavily biased branches,
+//! randomized flow, branches with large flush penalty, indirect branches,
+//! etc."
+
+use super::helpers::{counted_loop, lcg_next, lcg_setup, LCG};
+use crate::workload::{Category, Scale, Workload};
+use racesim_isa::{asm::Asm, Cond, MemWidth, Reg};
+
+const CAT: Category = Category::ControlFlow;
+
+fn finish(name: &str, mut a: Asm, expected: u64) -> Workload {
+    a.halt();
+    Workload::new(name, CAT, a.finish(), expected)
+}
+
+/// `CCa`: heavily biased, always-taken conditional branch.
+fn cca(scale: Scale) -> Workload {
+    let target = scale.apply(82_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(1), 1);
+    let body = 5;
+    counted_loop(&mut a, target / body, |a| {
+        a.cmpi(Reg::x(1), 1);
+        let skip = a.label();
+        a.bcond(Cond::Eq, skip); // always taken
+        a.addi(Reg::x(9), Reg::x(9), 1); // never executes
+        a.bind(skip);
+        a.addi(Reg::x(2), Reg::x(2), 1);
+    });
+    finish("CCa", a, target)
+}
+
+/// `CCe`: easy-to-predict alternating pattern (T, N, T, N, …).
+fn cce(scale: Scale) -> Workload {
+    let target = scale.apply(657_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(1), 0);
+    a.movz(Reg::x(3), 1);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        a.eor(Reg::x(1), Reg::x(1), Reg::x(3)); // toggle
+        a.cmpi(Reg::x(1), 1);
+        let skip = a.label();
+        a.bcond(Cond::Eq, skip);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bind(skip);
+    });
+    finish("CCe", a, target)
+}
+
+/// `CCh`: hard, pseudo-randomly taken branch.
+fn cch(scale: Scale) -> Workload {
+    let target = scale.apply(2_600_000);
+    let mut a = Asm::new();
+    lcg_setup(&mut a, 0xC0);
+    a.movz(Reg::x(3), 1);
+    let body = 8;
+    counted_loop(&mut a, target / body, |a| {
+        lcg_next(a);
+        a.lsr(Reg::x(4), LCG, 33);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.cmpi(Reg::x(4), 0);
+        let skip = a.label();
+        a.bcond(Cond::Eq, skip);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bind(skip);
+    });
+    finish("CCh", a, target)
+}
+
+/// `CCh_st`: hard branch guarding a store.
+fn cch_st(scale: Scale) -> Workload {
+    let target = scale.apply(157_000);
+    let mut a = Asm::new();
+    let buf = a.reserve(4096, 64);
+    lcg_setup(&mut a, 0xC5);
+    a.movz(Reg::x(3), 1);
+    a.mov64(Reg::x(6), buf);
+    a.mov64(Reg::x(7), 4088);
+    let body = 10;
+    counted_loop(&mut a, target / body, |a| {
+        lcg_next(a);
+        a.lsr(Reg::x(4), LCG, 33);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.cmpi(Reg::x(4), 0);
+        let skip = a.label();
+        a.bcond(Cond::Eq, skip);
+        a.lsr(Reg::x(5), LCG, 20);
+        a.and(Reg::x(5), Reg::x(5), Reg::x(7));
+        a.str(MemWidth::B8, Reg::x(4), Reg::x(6), Reg::x(5), 0);
+        a.bind(skip);
+    });
+    finish("CCh_st", a, target)
+}
+
+/// `CCl`: tight nested loops — loop-exit branches dominate.
+fn ccl(scale: Scale) -> Workload {
+    let target = scale.apply(1_380_000);
+    let mut a = Asm::new();
+    let body = 15; // 1 + 4*(1+2) + 2
+    counted_loop(&mut a, target / body, |a| {
+        a.movz(Reg::x(10), 4);
+        let inner = a.here();
+        a.addi(Reg::x(2), Reg::x(2), 1);
+        a.subi(Reg::x(10), Reg::x(10), 1);
+        a.cbnz(Reg::x(10), inner);
+    });
+    finish("CCl", a, target)
+}
+
+/// `CCm`: a mix of branch biases (always, 7-in-8, random).
+fn ccm(scale: Scale) -> Workload {
+    let target = scale.apply(656_000);
+    let mut a = Asm::new();
+    lcg_setup(&mut a, 0xCC);
+    a.movz(Reg::x(3), 7);
+    a.movz(Reg::x(12), 1);
+    let body = 14;
+    counted_loop(&mut a, target / body, |a| {
+        // Always taken.
+        a.cmpi(Reg::x(12), 1);
+        let s1 = a.label();
+        a.bcond(Cond::Eq, s1);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bind(s1);
+        // Taken 7 of 8 iterations.
+        a.addi(Reg::x(13), Reg::x(13), 1);
+        a.and(Reg::x(14), Reg::x(13), Reg::x(3));
+        a.cmpi(Reg::x(14), 0);
+        let s2 = a.label();
+        a.bcond(Cond::Ne, s2);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bind(s2);
+        // Random.
+        lcg_next(a);
+        a.lsr(Reg::x(4), LCG, 41);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(12));
+        let s3 = a.label();
+        a.cbnz(Reg::x(4), s3);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bind(s3);
+    });
+    finish("CCm", a, target)
+}
+
+/// `CF1`: random two-way diamond with work on both sides — each
+/// mispredict flushes a full pipeline of in-flight work.
+fn cf1(scale: Scale) -> Workload {
+    let target = scale.apply(1_270_000);
+    let mut a = Asm::new();
+    lcg_setup(&mut a, 0xF1);
+    a.movz(Reg::x(3), 1);
+    let body = 15;
+    counted_loop(&mut a, target / body, |a| {
+        lcg_next(a);
+        a.lsr(Reg::x(4), LCG, 29);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(3));
+        let else_side = a.label();
+        let merge = a.label();
+        a.cbz(Reg::x(4), else_side);
+        for _ in 0..4 {
+            a.addi(Reg::x(5), Reg::x(5), 1);
+        }
+        a.b(merge);
+        a.bind(else_side);
+        for _ in 0..4 {
+            a.addi(Reg::x(6), Reg::x(6), 1);
+        }
+        a.bind(merge);
+    });
+    finish("CF1", a, target)
+}
+
+/// `CRd`: deep recursion (depth 32) — overflows the return-address stack.
+fn crd(scale: Scale) -> Workload {
+    let target = scale.apply(599_000);
+    let mut a = Asm::new();
+    let func = a.label();
+    let per_call = 10u64; // per recursion level
+    let iters = (target / (32 * per_call + 4)).max(2);
+    counted_loop(&mut a, iters, |a| {
+        a.movz(Reg::x(0), 32);
+        a.bl(func);
+    });
+    a.halt();
+    a.bind(func);
+    // f(n): if n == 0 return; else f(n - 1)
+    let leaf = a.label();
+    a.cbz(Reg::x(0), leaf);
+    a.subi(Reg::x(0), Reg::x(0), 1);
+    a.subi(Reg::SP, Reg::SP, 16);
+    a.str8(Reg::LR, Reg::SP, 0);
+    a.bl(func);
+    a.ldr8(Reg::LR, Reg::SP, 0);
+    a.addi(Reg::SP, Reg::SP, 16);
+    a.bind(leaf);
+    a.ret();
+    Workload::new("CRd", CAT, a.finish(), target)
+}
+
+/// `CRf`: frequent calls to a tiny leaf function.
+fn crf(scale: Scale) -> Workload {
+    let target = scale.apply(133_000);
+    let mut a = Asm::new();
+    let func = a.label();
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        a.bl(func);
+        a.addi(Reg::x(2), Reg::x(2), 1);
+    });
+    a.halt();
+    a.bind(func);
+    a.addi(Reg::x(5), Reg::x(5), 1);
+    a.ret();
+    Workload::new("CRf", CAT, a.finish(), target)
+}
+
+/// `CRm`: indirect calls cycling over four targets through a function
+/// table.
+fn crm(scale: Scale) -> Workload {
+    let target = scale.apply(399_000);
+    let mut a = Asm::new();
+    let fns: Vec<_> = (0..4).map(|_| a.label()).collect();
+    let table = a.data_code_ptrs(&fns);
+    a.mov64(Reg::x(10), table);
+    a.movz(Reg::x(11), 0);
+    a.movz(Reg::x(15), 3);
+    let body = 11;
+    counted_loop(&mut a, target / body, |a| {
+        a.lsl(Reg::x(13), Reg::x(11), 3);
+        a.ldr(MemWidth::B8, Reg::x(12), Reg::x(10), Reg::x(13), 0);
+        a.blr(Reg::x(12));
+        a.addi(Reg::x(11), Reg::x(11), 1);
+        a.and(Reg::x(11), Reg::x(11), Reg::x(15));
+    });
+    a.halt();
+    for (k, f) in fns.iter().enumerate() {
+        a.bind(*f);
+        a.addi(Reg::x(2 + k as u8), Reg::x(2 + k as u8), 1);
+        a.ret();
+    }
+    Workload::new("CRm", CAT, a.finish(), target)
+}
+
+/// `CS1`: a 16-way case statement walked in a repeating cycle — "a case
+/// statement that benefits from indirect branch support" (path history
+/// predicts it; a BTB-only indirect scheme cannot).
+fn cs1(scale: Scale) -> Workload {
+    let target = scale.apply(58_000);
+    let mut a = Asm::new();
+    let cases: Vec<_> = (0..16).map(|_| a.label()).collect();
+    let merge = a.label();
+    let table = a.data_code_ptrs(&cases);
+    a.mov64(Reg::x(10), table);
+    a.movz(Reg::x(11), 0);
+    a.movz(Reg::x(15), 15);
+    let body = 10;
+    let iters = (target / body).max(128);
+    a.mov64(Reg::x(28), iters);
+    let top = a.here();
+    a.lsl(Reg::x(13), Reg::x(11), 3);
+    a.ldr(MemWidth::B8, Reg::x(12), Reg::x(10), Reg::x(13), 0);
+    a.br(Reg::x(12));
+    for (k, c) in cases.iter().enumerate() {
+        a.bind(*c);
+        a.addi(Reg::x(2 + (k % 8) as u8), Reg::x(2 + (k % 8) as u8), 1);
+        a.b(merge);
+    }
+    a.bind(merge);
+    a.addi(Reg::x(11), Reg::x(11), 1);
+    a.and(Reg::x(11), Reg::x(11), Reg::x(15));
+    a.subi(Reg::x(28), Reg::x(28), 1);
+    a.cbnz(Reg::x(28), top);
+    finish("CS1", a, target)
+}
+
+/// `CS3`: a case statement with three pseudo-randomly selected hot
+/// targets.
+fn cs3(scale: Scale) -> Workload {
+    let target = scale.apply(34_500_000);
+    let mut a = Asm::new();
+    let cases: Vec<_> = (0..4).map(|_| a.label()).collect();
+    let merge = a.label();
+    let table = a.data_code_ptrs(&cases);
+    lcg_setup(&mut a, 0x53);
+    a.mov64(Reg::x(10), table);
+    a.movz(Reg::x(15), 3);
+    let body = 12;
+    let iters = (target / body).max(64);
+    a.mov64(Reg::x(28), iters);
+    let top = a.here();
+    lcg_next(&mut a);
+    a.lsr(Reg::x(11), LCG, 13);
+    a.and(Reg::x(11), Reg::x(11), Reg::x(15));
+    // Remap case 3 onto case 0: three hot targets.
+    a.cmpi(Reg::x(11), 3);
+    a.csel(Cond::Eq, Reg::x(11), Reg::XZR, Reg::x(11));
+    a.lsl(Reg::x(13), Reg::x(11), 3);
+    a.ldr(MemWidth::B8, Reg::x(12), Reg::x(10), Reg::x(13), 0);
+    a.br(Reg::x(12));
+    for (k, c) in cases.iter().enumerate() {
+        a.bind(*c);
+        a.addi(Reg::x(2 + k as u8), Reg::x(2 + k as u8), 1);
+        a.b(merge);
+    }
+    a.bind(merge);
+    a.subi(Reg::x(28), Reg::x(28), 1);
+    a.cbnz(Reg::x(28), top);
+    finish("CS3", a, target)
+}
+
+/// All 12 control-flow kernels.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        cca(scale),
+        cce(scale),
+        cch(scale),
+        cch_st(scale),
+        ccl(scale),
+        ccm(scale),
+        cf1(scale),
+        crd(scale),
+        crf(scale),
+        crm(scale),
+        cs1(scale),
+        cs3(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taken_ratio(w: &Workload) -> f64 {
+        let s = w.trace().unwrap().summary();
+        s.taken_branches as f64 / s.branches as f64
+    }
+
+    #[test]
+    fn cca_is_heavily_biased_and_cch_is_not() {
+        // CCa: the guarded branch is always taken, plus the loop branch.
+        let r_a = taken_ratio(&cca(Scale::TINY));
+        assert!(r_a > 0.95, "CCa: {r_a}");
+        // CCh: its conditional is ~50/50 while the loop branch is taken.
+        let r_h = taken_ratio(&cch(Scale::TINY));
+        assert!(r_h > 0.6 && r_h < 0.9, "CCh: {r_h}");
+    }
+
+    #[test]
+    fn crd_recursion_reaches_depth_32() {
+        let w = crd(Scale::TINY);
+        let t = w.trace().unwrap();
+        let s = t.summary();
+        // Each outer iteration: 32 calls and 33 rets... in fact 32 rets +
+        // 1 leaf ret; just check plenty of indirect branches (rets).
+        assert!(s.indirect_branches > 60, "{s:?}");
+    }
+
+    #[test]
+    fn cs1_cycles_its_targets_deterministically() {
+        let w = cs1(Scale::TINY);
+        let t = w.trace().unwrap();
+        // Collect indirect-branch targets in order.
+        let targets: Vec<u64> = t
+            .records()
+            .iter()
+            .filter(|r| r.is_branch() && r.taken())
+            .filter_map(|r| r.target())
+            .collect();
+        assert!(!targets.is_empty());
+        let s = t.summary();
+        assert!(s.indirect_branches as usize >= 60);
+    }
+
+    #[test]
+    fn cs3_uses_exactly_three_hot_targets() {
+        let w = cs3(Scale::TINY);
+        let t = w.trace().unwrap();
+        // Indirect br targets only (the br is the only register branch).
+        let mut counts = std::collections::HashMap::new();
+        for r in t.records() {
+            if r.is_branch() && r.taken() {
+                if let Some(op) = r.word().opcode() {
+                    if op == racesim_isa::Opcode::Br {
+                        *counts.entry(r.target().unwrap()).or_insert(0u64) += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(counts.len(), 3, "{counts:?}");
+    }
+
+    #[test]
+    fn ccm_compiles_and_runs() {
+        let w = ccm(Scale::TINY);
+        let t = w.trace().unwrap();
+        assert!(t.summary().branches > 100);
+    }
+}

@@ -1,0 +1,203 @@
+//! Data-parallel and floating-point micro-benchmarks (Table I, 5 kernels).
+//!
+//! "The data-parallel benchmarks evaluate cases with data parallel loops
+//! that involve double and float operations and conversions."
+
+use super::helpers::counted_loop;
+use crate::workload::{Category, Scale, Workload};
+use racesim_isa::{asm::Asm, MemWidth, Reg};
+
+const CAT: Category = Category::DataParallel;
+
+fn finish(name: &str, mut a: Asm, expected: u64) -> Workload {
+    a.halt();
+    Workload::new(name, CAT, a.finish(), expected)
+}
+
+fn fp_array(a: &mut Asm, elems: usize, seed: f64) -> u64 {
+    let words: Vec<u64> = (0..elems)
+        .map(|i| (seed + i as f64 * 0.5).to_bits())
+        .collect();
+    a.data_u64s(&words)
+}
+
+/// `DP1d`: independent scalar double operations over an array.
+fn dp1d(scale: Scale) -> Workload {
+    let target = scale.apply(5_200_000);
+    let mut a = Asm::new();
+    let arr = fp_array(&mut a, 1024, 1.0);
+    a.mov64(Reg::x(1), arr);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), 1024 * 8 - 1);
+    let body = 15;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..4u8 {
+            a.ldr(MemWidth::B8, Reg::v(k), Reg::x(1), Reg::x(4), 8 * k as i64);
+        }
+        a.fadd(Reg::v(4), Reg::v(0), Reg::v(1));
+        a.fmul(Reg::v(5), Reg::v(2), Reg::v(3));
+        a.fadd(Reg::v(6), Reg::v(4), Reg::v(5));
+        a.fmul(Reg::v(7), Reg::v(4), Reg::v(5));
+        a.fadd(Reg::v(8), Reg::v(8), Reg::v(6));
+        a.fadd(Reg::v(9), Reg::v(9), Reg::v(7));
+        a.addi(Reg::x(4), Reg::x(4), 32);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("DP1d", a, target)
+}
+
+/// `DP1f`: the vector (two-lane) variant — "float" throughput doubled.
+fn dp1f(scale: Scale) -> Workload {
+    let target = scale.apply(5_200_000);
+    let mut a = Asm::new();
+    let arr = fp_array(&mut a, 1024, 2.0);
+    a.mov64(Reg::x(1), arr);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), 1024 * 8 - 1);
+    let body = 11;
+    counted_loop(&mut a, target / body, |a| {
+        a.ldr(MemWidth::B16, Reg::v(0), Reg::x(1), Reg::x(4), 0);
+        a.ldr(MemWidth::B16, Reg::v(1), Reg::x(1), Reg::x(4), 16);
+        a.vfadd(Reg::v(2), Reg::v(0), Reg::v(1));
+        a.vfmul(Reg::v(3), Reg::v(0), Reg::v(1));
+        a.vfadd(Reg::v(4), Reg::v(4), Reg::v(2));
+        a.vfma(Reg::v(5), Reg::v(2), Reg::v(3));
+        a.vadd(Reg::v(6), Reg::v(6), Reg::v(2));
+        a.addi(Reg::x(4), Reg::x(4), 32);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("DP1f", a, target)
+}
+
+/// `DPcvt`: int ↔ double conversion stream.
+fn dpcvt(scale: Scale) -> Workload {
+    let target = scale.apply(36_700_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(2), 7);
+    let body = 8;
+    counted_loop(&mut a, target / body, |a| {
+        a.scvtf(Reg::v(0), Reg::x(2));
+        a.fadd(Reg::v(1), Reg::v(0), Reg::v(0));
+        a.fcvtzs(Reg::x(3), Reg::v(1));
+        a.scvtf(Reg::v(2), Reg::x(3));
+        a.fcvtzs(Reg::x(4), Reg::v(2));
+        a.add(Reg::x(2), Reg::x(2), Reg::x(4));
+    });
+    finish("DPcvt", a, target)
+}
+
+/// `DPT`: STREAM-triad with vector operations:
+/// `a[i] = b[i] + s * c[i]` on 16-byte lanes.
+fn dpt(scale: Scale) -> Workload {
+    let target = scale.apply(542_000);
+    let mut a = Asm::new();
+    let elems = 2048usize;
+    let b = fp_array(&mut a, elems, 1.0);
+    let c = fp_array(&mut a, elems, 3.0);
+    let out = a.reserve(elems as u64 * 8, 64);
+    a.mov64(Reg::x(1), b);
+    a.mov64(Reg::x(2), c);
+    a.mov64(Reg::x(3), out);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), elems as u64 * 8 - 1);
+    // Scalar s in v31 lanes.
+    a.movz(Reg::x(6), 3);
+    a.scvtf(Reg::v(31), Reg::x(6));
+    let body = 8;
+    counted_loop(&mut a, target / body, |a| {
+        a.ldr(MemWidth::B16, Reg::v(0), Reg::x(1), Reg::x(4), 0);
+        a.ldr(MemWidth::B16, Reg::v(1), Reg::x(2), Reg::x(4), 0);
+        a.vfmul(Reg::v(2), Reg::v(1), Reg::v(31));
+        a.vfadd(Reg::v(3), Reg::v(0), Reg::v(2));
+        a.str(MemWidth::B16, Reg::v(3), Reg::x(3), Reg::x(4), 0);
+        a.addi(Reg::x(4), Reg::x(4), 16);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("DPT", a, target)
+}
+
+/// `DPTd`: the scalar-double triad.
+fn dptd(scale: Scale) -> Workload {
+    let target = scale.apply(1_180_000);
+    let mut a = Asm::new();
+    let elems = 2048usize;
+    let b = fp_array(&mut a, elems, 1.0);
+    let c = fp_array(&mut a, elems, 3.0);
+    let out = a.reserve(elems as u64 * 8, 64);
+    a.mov64(Reg::x(1), b);
+    a.mov64(Reg::x(2), c);
+    a.mov64(Reg::x(3), out);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), elems as u64 * 8 - 1);
+    a.movz(Reg::x(6), 3);
+    a.scvtf(Reg::v(31), Reg::x(6));
+    let body = 8;
+    counted_loop(&mut a, target / body, |a| {
+        a.ldr(MemWidth::B8, Reg::v(0), Reg::x(1), Reg::x(4), 0);
+        a.ldr(MemWidth::B8, Reg::v(1), Reg::x(2), Reg::x(4), 0);
+        a.fmul(Reg::v(2), Reg::v(1), Reg::v(31));
+        a.fadd(Reg::v(3), Reg::v(0), Reg::v(2));
+        a.str(MemWidth::B8, Reg::v(3), Reg::x(3), Reg::x(4), 0);
+        a.addi(Reg::x(4), Reg::x(4), 8);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("DPTd", a, target)
+}
+
+/// All 5 data-parallel kernels.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        dp1d(scale),
+        dp1f(scale),
+        dpcvt(scale),
+        dpt(scale),
+        dptd(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_stores_correct_values() {
+        let w = dptd(Scale::TINY);
+        // Emulate and inspect memory: out[0] = b[0] + 3 * c[0] = 1 + 9.
+        let mut m = crate::emu::Machine::new(&w.program);
+        let mut buf = racesim_trace::TraceBuffer::new();
+        m.run(w.inst_limit, &mut buf).unwrap();
+        // Find the first store's ea and read the double back.
+        let first_store = buf
+            .records()
+            .iter()
+            .find(|r| {
+                r.ea().is_some()
+                    && r.word().opcode() == Some(racesim_isa::Opcode::Str)
+            })
+            .unwrap();
+        let bits = m.mem.read_le(first_store.ea().unwrap(), 8);
+        assert_eq!(f64::from_bits(bits), 1.0 + 3.0 * 3.0);
+    }
+
+    #[test]
+    fn dp_kernels_are_fp_dominated() {
+        for w in all(Scale::TINY) {
+            let s = w.trace().unwrap().summary();
+            assert!(
+                s.fp_simd * 6 > s.instructions,
+                "{}: {} fp of {}",
+                w.name,
+                s.fp_simd,
+                s.instructions
+            );
+        }
+    }
+
+    #[test]
+    fn dpcvt_converges_numerically() {
+        // x2 = x2 + fcvtzs(scvtf(fcvtzs(2 * x2))) stays finite and the
+        // kernel halts (guards against emulator FP bugs).
+        let w = dpcvt(Scale::TINY);
+        assert!(w.trace().is_ok());
+    }
+}

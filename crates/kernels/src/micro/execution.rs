@@ -1,0 +1,119 @@
+//! Execution-unit micro-benchmarks (Table I, 5 kernels).
+//!
+//! "The benchmarks focusing on the execution units involve integer and
+//! floating-point operations that vary in complexity. Each of these
+//! benchmarks involve chains of dependencies of variable length."
+
+use super::helpers::counted_loop;
+use crate::workload::{Category, Scale, Workload};
+use racesim_isa::{asm::Asm, Reg};
+
+const CAT: Category = Category::Execution;
+
+fn finish(name: &str, mut a: Asm, expected: u64) -> Workload {
+    a.halt();
+    Workload::new(name, CAT, a.finish(), expected)
+}
+
+/// `ED1`: a single serial integer dependency chain (ILP = 1) — the
+/// kernel whose untuned error reached 5.6x in the paper's Figure 4.
+fn ed1(scale: Scale) -> Workload {
+    let target = scale.apply(164_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(1), 1);
+    let body = 10;
+    counted_loop(&mut a, target / body, |a| {
+        for _ in 0..8 {
+            a.add(Reg::x(1), Reg::x(1), Reg::x(2));
+        }
+    });
+    finish("ED1", a, target)
+}
+
+/// `EF`: a serial floating-point dependency chain.
+fn ef(scale: Scale) -> Workload {
+    let target = scale.apply(451_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(1), 1);
+    a.scvtf(Reg::v(0), Reg::x(1));
+    a.scvtf(Reg::v(1), Reg::x(1));
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        for _ in 0..4 {
+            a.fadd(Reg::v(0), Reg::v(0), Reg::v(1));
+        }
+    });
+    finish("EF", a, target)
+}
+
+/// `EI`: independent integer operations (maximum ILP).
+fn ei(scale: Scale) -> Workload {
+    let target = scale.apply(5_240_000);
+    let mut a = Asm::new();
+    let body = 10;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..8u8 {
+            a.addi(Reg::x(1 + k), Reg::x(1 + k), 1);
+        }
+    });
+    finish("EI", a, target)
+}
+
+/// `EM1`: a single serial multiply chain.
+fn em1(scale: Scale) -> Workload {
+    let target = scale.apply(65_000);
+    let mut a = Asm::new();
+    a.movz(Reg::x(1), 3);
+    a.movz(Reg::x(2), 5);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        for _ in 0..4 {
+            a.mul(Reg::x(1), Reg::x(1), Reg::x(2));
+        }
+    });
+    finish("EM1", a, target)
+}
+
+/// `EM5`: five interleaved multiply chains (ILP = 5).
+fn em5(scale: Scale) -> Workload {
+    let target = scale.apply(328_000);
+    let mut a = Asm::new();
+    for k in 0..5u8 {
+        a.movz(Reg::x(1 + k), 3 + k as i64);
+    }
+    a.movz(Reg::x(9), 7);
+    let body = 7;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..5u8 {
+            a.mul(Reg::x(1 + k), Reg::x(1 + k), Reg::x(9));
+        }
+    });
+    finish("EM5", a, target)
+}
+
+/// All 5 execution kernels.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![ed1(scale), ef(scale), ei(scale), em1(scale), em5(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_run_and_are_compute_bound() {
+        for w in all(Scale::TINY) {
+            let s = w.trace().unwrap().summary();
+            assert_eq!(s.loads, 0, "{} has no loads", w.name);
+            assert_eq!(s.stores, 0, "{} has no stores", w.name);
+        }
+    }
+
+    #[test]
+    fn ef_is_fp_and_ed1_is_int() {
+        let s_ef = ef(Scale::TINY).trace().unwrap().summary();
+        assert!(s_ef.fp_simd * 2 > s_ef.instructions);
+        let s_ed = ed1(Scale::TINY).trace().unwrap().summary();
+        assert_eq!(s_ed.fp_simd, 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Memory-hierarchy micro-benchmarks (Table I, 15 kernels).
+//!
+//! "The benchmarks that stress the memory hierarchy involve access to data
+//! sets that reside at various levels of the hierarchy, access with plenty
+//! of conflict misses, linked list traversal at different cache levels or
+//! in memory, stressing instruction cache misses, and load-store
+//! dependencies."
+
+use super::helpers::{build_chase, counted_loop, lcg_next, lcg_setup, LCG};
+use crate::workload::{Category, Scale, Workload};
+use racesim_isa::{asm::Asm, MemWidth, Reg};
+
+const CAT: Category = Category::MemoryHierarchy;
+
+fn finish(name: &str, a: Asm, expected: u64) -> Workload {
+    let mut a = a;
+    a.halt();
+    Workload::new(name, CAT, a.finish(), expected)
+}
+
+/// `MC`: loads with plenty of conflict misses — a power-of-two stride that
+/// maps every access to the same set under mask indexing (XOR/Mersenne
+/// hashing spread it, which is exactly why the paper makes hashing
+/// tunable).
+fn mc(scale: Scale) -> Workload {
+    let target = scale.apply(1_800_000);
+    let mut a = Asm::new();
+    let region = a.reserve(16 * 8192, 8192);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(3), 8192); // stride: 128 sets x 64B
+    a.mov64(Reg::x(5), 16 * 8192 - 1);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::x(4), 0);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+        a.add(Reg::x(6), Reg::x(6), Reg::x(2));
+    });
+    finish("MC", a, target)
+}
+
+/// `MCS`: conflict misses with stores.
+fn mcs(scale: Scale) -> Workload {
+    let target = scale.apply(115_000);
+    let mut a = Asm::new();
+    let region = a.reserve(16 * 8192, 8192);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(3), 8192);
+    a.mov64(Reg::x(5), 16 * 8192 - 1);
+    let body = 5;
+    counted_loop(&mut a, target / body, |a| {
+        a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), 0);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("MCS", a, target)
+}
+
+/// `MD`: dependent-load pointer chase resident in the L1D (8 KiB).
+fn md(scale: Scale) -> Workload {
+    let target = scale.apply(33_000);
+    let mut a = Asm::new();
+    let head = build_chase(&mut a, 128, 64, 0xD);
+    a.mov64(Reg::x(1), head);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        for _ in 0..4 {
+            a.ldr8(Reg::x(1), Reg::x(1), 0);
+        }
+    });
+    finish("MD", a, target)
+}
+
+/// Straight-line code block of `n` cheap instructions.
+fn code_block(a: &mut Asm, n: usize) {
+    for i in 0..n {
+        a.addi(Reg::x(2 + (i % 8) as u8), Reg::x(2 + (i % 8) as u8), 1);
+    }
+}
+
+/// `MI`: instruction footprint exceeding the L1I (48 KiB of code).
+fn mi(scale: Scale) -> Workload {
+    let target = scale.apply(22_000_000);
+    let block = 12 * 1024; // 12K instructions = 48 KiB
+    let mut a = Asm::new();
+    let iters = (target / (block as u64 + 2)).max(2);
+    counted_loop(&mut a, iters, |a| code_block(a, block));
+    finish("MI", a, target)
+}
+
+/// `MIM`: bigger instruction footprint (80 KiB), misses L1I, hits L2.
+fn mim(scale: Scale) -> Workload {
+    let target = scale.apply(5_250_000);
+    let block = 20 * 1024;
+    let mut a = Asm::new();
+    let iters = (target / (block as u64 + 2)).max(2);
+    counted_loop(&mut a, iters, |a| code_block(a, block));
+    finish("MIM", a, target)
+}
+
+/// `MIM2`: two distant 40 KiB code blocks visited alternately through
+/// calls, defeating sequential line reuse.
+fn mim2(scale: Scale) -> Workload {
+    let target = scale.apply(214_000);
+    let block = 10 * 1024;
+    let mut a = Asm::new();
+    let f1 = a.label();
+    let f2 = a.label();
+    let iters = (target / (2 * block as u64 + 6)).max(2);
+    counted_loop(&mut a, iters, |a| {
+        a.bl(f1);
+        a.bl(f2);
+    });
+    a.halt();
+    a.bind(f1);
+    code_block(&mut a, block);
+    a.ret();
+    a.bind(f2);
+    code_block(&mut a, block);
+    a.ret();
+    Workload::new("MIM2", CAT, a.finish(), target)
+}
+
+/// `MIP`: very large sequential instruction footprint (96 KiB) —
+/// prefetch-friendly straight-line fetch.
+fn mip(scale: Scale) -> Workload {
+    let target = scale.apply(66_000_000);
+    let block = 24 * 1024;
+    let mut a = Asm::new();
+    let iters = (target / (block as u64 + 2)).max(2);
+    counted_loop(&mut a, iters, |a| code_block(a, block));
+    finish("MIP", a, target)
+}
+
+/// `ML2`: pointer chase sized for the L2 (256 KiB).
+fn ml2(scale: Scale) -> Workload {
+    let target = scale.apply(131_000);
+    let mut a = Asm::new();
+    let head = build_chase(&mut a, 4096, 64, 0x12);
+    a.mov64(Reg::x(1), head);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        for _ in 0..4 {
+            a.ldr8(Reg::x(1), Reg::x(1), 0);
+        }
+    });
+    finish("ML2", a, target)
+}
+
+/// `ML2_BW_ld`: sequential load bandwidth over an L2-resident buffer.
+fn ml2_bw_ld(scale: Scale) -> Workload {
+    let target = scale.apply(3_150_000);
+    let mut a = Asm::new();
+    let size = 256 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 12;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..8i64 {
+            a.ldr(MemWidth::B8, Reg::x(6 + (k % 4) as u8), Reg::x(1), Reg::x(4), k * 8);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 64);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("ML2_BW_ld", a, target)
+}
+
+/// `ML2_BW_ldst`: mixed load/store bandwidth on the L2.
+fn ml2_bw_ldst(scale: Scale) -> Workload {
+    let target = scale.apply(107_000);
+    let mut a = Asm::new();
+    let size = 256 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 12;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..4i64 {
+            a.ldr(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), k * 16);
+            a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), k * 16 + 8);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 64);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("ML2_BW_ldst", a, target)
+}
+
+/// `ML2_BW_st`: sequential store bandwidth on the L2.
+fn ml2_bw_st(scale: Scale) -> Workload {
+    let target = scale.apply(8_400);
+    let mut a = Asm::new();
+    let size = 256 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 12;
+    counted_loop(&mut a, (target / body).max(16), |a| {
+        for k in 0..8i64 {
+            a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), k * 8);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 64);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("ML2_BW_st", a, target)
+}
+
+/// `ML2_st`: strided stores across an L2-resident buffer.
+fn ml2_st(scale: Scale) -> Workload {
+    let target = scale.apply(164_000);
+    let mut a = Asm::new();
+    let size = 256 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(3), 192); // 3 lines
+    a.mov64(Reg::x(5), size - 1);
+    let body = 5;
+    counted_loop(&mut a, target / body, |a| {
+        a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), 0);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("ML2_st", a, target)
+}
+
+/// `MM`: strided loads over an 8 MiB uninitialised array — misses every
+/// cache level. One of the two kernels that "access an uninitialized
+/// array" in the paper.
+fn mm(scale: Scale) -> Workload {
+    let target = scale.apply(1_050_000);
+    let mut a = Asm::new();
+    let size = 8 * 1024 * 1024u64;
+    let region = a.reserve(size, 4096);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(3), 256);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 6;
+    counted_loop(&mut a, target / body, |a| {
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::x(4), 0);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+        a.add(Reg::x(6), Reg::x(6), Reg::x(2));
+    });
+    finish("MM", a, target).with_uninit_data()
+}
+
+/// `MM_st`: strided stores over an 8 MiB region.
+fn mm_st(scale: Scale) -> Workload {
+    let target = scale.apply(1_970_000);
+    let mut a = Asm::new();
+    let size = 8 * 1024 * 1024u64;
+    let region = a.reserve(size, 4096);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(3), 256);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 5;
+    counted_loop(&mut a, target / body, |a| {
+        a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), 0);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(3));
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("MM_st", a, target)
+}
+
+/// `M_Dyn`: dynamically random accesses across a 16 MiB uninitialised
+/// region — stresses the TLB and defeats every prefetcher.
+fn m_dyn(scale: Scale) -> Workload {
+    let target = scale.apply(1_500_000);
+    let mut a = Asm::new();
+    let size = 16 * 1024 * 1024u64;
+    let region = a.reserve(size, 4096);
+    lcg_setup(&mut a, 0xDEAD);
+    a.mov64(Reg::x(1), region);
+    a.mov64(Reg::x(5), size - 8);
+    let body = 7;
+    counted_loop(&mut a, target / body, |a| {
+        lcg_next(a);
+        a.lsr(Reg::x(4), LCG, 17);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::x(4), 0);
+    });
+    finish("M_Dyn", a, target).with_uninit_data()
+}
+
+/// All 15 memory-hierarchy kernels.
+///
+/// With `init_arrays`, the uninitialised-array kernels are replaced by
+/// variants whose arrays count as initialised (the paper's fix).
+pub fn all(scale: Scale, init_arrays: bool) -> Vec<Workload> {
+    let mut v = vec![
+        mc(scale),
+        mcs(scale),
+        md(scale),
+        mi(scale),
+        mim(scale),
+        mim2(scale),
+        mip(scale),
+        ml2(scale),
+        ml2_bw_ld(scale),
+        ml2_bw_ldst(scale),
+        ml2_bw_st(scale),
+        ml2_st(scale),
+        mm(scale),
+        mm_st(scale),
+        m_dyn(scale),
+    ];
+    if init_arrays {
+        for w in &mut v {
+            w.uninit_data = false;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_chase_stays_in_l1_footprint() {
+        let w = md(Scale::TINY);
+        let t = w.trace().unwrap();
+        let addrs: std::collections::HashSet<u64> = t
+            .records()
+            .iter()
+            .filter_map(|r| r.ea())
+            .map(|ea| ea >> 6)
+            .collect();
+        assert!(addrs.len() <= 128, "MD touches at most 128 lines");
+    }
+
+    #[test]
+    fn mc_addresses_conflict_under_mask_indexing() {
+        let w = mc(Scale::TINY);
+        let t = w.trace().unwrap();
+        let sets: std::collections::HashSet<u64> = t
+            .records()
+            .iter()
+            .filter_map(|r| r.ea())
+            .map(|ea| (ea >> 6) & 127) // 128-set L1D
+            .collect();
+        assert_eq!(sets.len(), 1, "all MC accesses land in one set");
+    }
+
+    #[test]
+    fn mm_covers_many_pages() {
+        let w = mm(Scale::TINY);
+        assert!(w.uninit_data);
+        let t = w.trace().unwrap();
+        let pages: std::collections::HashSet<u64> = t
+            .records()
+            .iter()
+            .filter_map(|r| r.ea())
+            .map(|ea| ea >> 12)
+            .collect();
+        assert!(pages.len() > 4, "MM walks many pages: {}", pages.len());
+    }
+
+    #[test]
+    fn mdyn_addresses_look_random() {
+        let w = m_dyn(Scale::TINY);
+        let t = w.trace().unwrap();
+        let eas: Vec<u64> = t.records().iter().filter_map(|r| r.ea()).collect();
+        assert!(eas.len() > 50);
+        // Deltas should be wildly varied (no constant stride).
+        let mut deltas = std::collections::HashSet::new();
+        for w in eas.windows(2) {
+            deltas.insert(w[1].wrapping_sub(w[0]));
+        }
+        assert!(deltas.len() > eas.len() / 2, "random walk has varied deltas");
+    }
+
+    #[test]
+    fn instruction_kernels_have_graded_footprints() {
+        let pcs = |w: &Workload| w.trace().unwrap().summary().unique_pcs;
+        let mi_pcs = pcs(&mi(Scale::TINY));
+        let mim_pcs = pcs(&mim(Scale::TINY));
+        let mip_pcs = pcs(&mip(Scale::TINY));
+        assert!(mi_pcs > 8 * 1024, "{mi_pcs}");
+        assert!(mim_pcs > mi_pcs);
+        assert!(mip_pcs > mim_pcs);
+    }
+}

@@ -1,0 +1,118 @@
+//! Store-intensive micro-benchmarks (Table I, 3 kernels).
+
+use super::helpers::counted_loop;
+use crate::workload::{Category, Scale, Workload};
+use racesim_isa::{asm::Asm, MemWidth, Reg};
+
+const CAT: Category = Category::StoreIntensive;
+
+fn finish(name: &str, mut a: Asm, expected: u64) -> Workload {
+    a.halt();
+    Workload::new(name, CAT, a.finish(), expected)
+}
+
+/// `STL2`: a short, intense burst of stores over an L2-resident buffer —
+/// at only 4 K dynamic instructions it exposes store-buffer sizing.
+fn stl2(scale: Scale) -> Workload {
+    let target = scale.apply(4_000);
+    let mut a = Asm::new();
+    let size = 128 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 10;
+    counted_loop(&mut a, (target / body).max(32), |a| {
+        for k in 0..8i64 {
+            a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), k * 64);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 512);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("STL2", a, target)
+}
+
+/// `STL2b`: sustained byte-granularity stores (write-combining stress).
+fn stl2b(scale: Scale) -> Workload {
+    let target = scale.apply(1_120_000);
+    let mut a = Asm::new();
+    let size = 128 * 1024u64;
+    let region = a.reserve(size, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), size - 1);
+    let body = 12;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..8i64 {
+            a.str(MemWidth::B1, Reg::x(6), Reg::x(1), Reg::x(4), k);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 8);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("STL2b", a, target)
+}
+
+/// `STc`: store→load conflicts — each load reads the address stored one
+/// instruction earlier (store-to-load forwarding stress).
+fn stc(scale: Scale) -> Workload {
+    let target = scale.apply(400_000);
+    let mut a = Asm::new();
+    let region = a.reserve(4096, 64);
+    a.mov64(Reg::x(1), region);
+    a.movz(Reg::x(4), 0);
+    a.mov64(Reg::x(5), 4095);
+    let body = 16;
+    counted_loop(&mut a, target / body, |a| {
+        for k in 0..6i64 {
+            a.str(MemWidth::B8, Reg::x(6), Reg::x(1), Reg::x(4), k * 8);
+            a.ldr(MemWidth::B8, Reg::x(7), Reg::x(1), Reg::x(4), k * 8);
+        }
+        a.addi(Reg::x(4), Reg::x(4), 64);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+    });
+    finish("STc", a, target)
+}
+
+/// All 3 store-intensive kernels.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![stl2(scale), stl2b(scale), stc(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stc_loads_see_stored_values() {
+        let w = stc(Scale::TINY);
+        let t = w.trace().unwrap();
+        // Consecutive store/load pairs share their effective address.
+        let recs = t.records();
+        let mut pairs = 0;
+        for win in recs.windows(2) {
+            if let (Some(st), Some(ld)) = (win[0].ea(), win[1].ea()) {
+                if win[0].word().opcode() == Some(racesim_isa::Opcode::Str)
+                    && win[1].word().opcode() == Some(racesim_isa::Opcode::Ldr)
+                {
+                    assert_eq!(st, ld);
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(pairs > 10, "{pairs} forwarding pairs seen");
+    }
+
+    #[test]
+    fn store_kernels_are_store_dominated() {
+        for w in all(Scale::TINY) {
+            let s = w.trace().unwrap().summary();
+            assert!(
+                s.stores * 3 > s.instructions,
+                "{}: {} stores of {}",
+                w.name,
+                s.stores,
+                s.instructions
+            );
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! A single set-associative cache level.
+
+use crate::config::{CacheConfig, Replacement};
+use crate::hash::SetIndexer;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The block was present in the set.
+    Hit {
+        /// Whether the line had been brought in by the prefetcher and not
+        /// yet demanded (a "useful prefetch" on first demand hit).
+        was_prefetched: bool,
+    },
+    /// The block was found in the victim buffer and swapped back in.
+    VictimHit,
+    /// The block was absent and (optionally) allocated.
+    Miss {
+        /// Dirty victim block that must be written back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl LookupOutcome {
+    /// Whether the access hit in this cache (set or victim buffer).
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, LookupOutcome::Miss { .. })
+    }
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits (including victim-buffer hits).
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Hits served from the victim buffer.
+    pub victim_hits: u64,
+    /// Dirty evictions (writebacks to the next level).
+    pub writebacks: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand hits on not-yet-touched prefetched lines.
+    pub useful_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    /// Timestamp of last use (LRU), or of insertion (FIFO).
+    stamp: u64,
+    /// Bit-PLRU recency bit.
+    mru: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VictimEntry {
+    tag: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A set-associative cache with configurable replacement, hashing and a
+/// victim buffer.
+///
+/// The cache operates on *block numbers* (addresses already divided by the
+/// line size); the surrounding [`MemoryHierarchy`](crate::MemoryHierarchy)
+/// handles byte addresses and timing.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    assoc: usize,
+    replacement: Replacement,
+    indexer: SetIndexer,
+    ways: Vec<Way>, // num_sets * assoc, set-major
+    victim: Vec<VictimEntry>,
+    victim_cap: usize,
+    clock: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache from its configuration.
+    pub fn new(cfg: &CacheConfig) -> Cache {
+        let sets = cfg.num_sets();
+        Cache {
+            assoc: cfg.assoc as usize,
+            replacement: cfg.replacement,
+            indexer: SetIndexer::new(cfg.hash, sets),
+            ways: vec![Way::default(); (sets * cfg.assoc) as usize],
+            victim: Vec::new(),
+            victim_cap: cfg.victim_entries as usize,
+            clock: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, block: u64) -> std::ops::Range<usize> {
+        let set = self.indexer.index_of(block) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*; deterministic across runs.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn choose_victim(&mut self, range: std::ops::Range<usize>) -> usize {
+        // Invalid ways first.
+        if let Some(i) = range.clone().find(|&i| !self.ways[i].valid) {
+            return i;
+        }
+        match self.replacement {
+            Replacement::Lru | Replacement::Fifo => range
+                .clone()
+                .min_by_key(|&i| self.ways[i].stamp)
+                .expect("non-empty set"),
+            Replacement::Random => {
+                let r = self.next_rand() as usize % self.assoc;
+                range.start + r
+            }
+            Replacement::PseudoLru => {
+                // Bit-PLRU: evict the first way whose MRU bit is clear.
+                range
+                    .clone()
+                    .find(|&i| !self.ways[i].mru)
+                    .unwrap_or(range.start)
+            }
+        }
+    }
+
+    fn touch(&mut self, idx: usize, set: std::ops::Range<usize>) {
+        self.clock += 1;
+        match self.replacement {
+            Replacement::Lru => self.ways[idx].stamp = self.clock,
+            Replacement::Fifo | Replacement::Random => {}
+            Replacement::PseudoLru => {
+                self.ways[idx].mru = true;
+                // If every way is now MRU, clear all others.
+                if set.clone().all(|i| self.ways[i].mru) {
+                    for i in set {
+                        if i != idx {
+                            self.ways[i].mru = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn victim_lookup(&mut self, block: u64) -> Option<VictimEntry> {
+        let pos = self.victim.iter().position(|v| v.tag == block)?;
+        Some(self.victim.remove(pos))
+    }
+
+    fn victim_insert(&mut self, tag: u64, dirty: bool) -> Option<u64> {
+        if self.victim_cap == 0 {
+            return dirty.then_some(tag);
+        }
+        self.clock += 1;
+        self.victim.push(VictimEntry {
+            tag,
+            dirty,
+            stamp: self.clock,
+        });
+        if self.victim.len() > self.victim_cap {
+            let oldest = self
+                .victim
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| v.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty victim buffer");
+            let evicted = self.victim.remove(oldest);
+            return evicted.dirty.then_some(evicted.tag);
+        }
+        None
+    }
+
+    /// Performs a demand access for `block`.
+    ///
+    /// `is_write` marks the line dirty on hit or fill; `allocate` controls
+    /// whether a missing block is installed (write-no-allocate stores pass
+    /// `false`).
+    pub fn access(&mut self, block: u64, is_write: bool, allocate: bool) -> LookupOutcome {
+        self.stats.accesses += 1;
+        let range = self.set_range(block);
+
+        if let Some(idx) = range
+            .clone()
+            .find(|&i| self.ways[i].valid && self.ways[i].tag == block)
+        {
+            self.stats.hits += 1;
+            let was_prefetched = self.ways[idx].prefetched;
+            if was_prefetched {
+                self.stats.useful_prefetches += 1;
+                self.ways[idx].prefetched = false;
+            }
+            if is_write {
+                self.ways[idx].dirty = true;
+            }
+            self.touch(idx, range);
+            return LookupOutcome::Hit { was_prefetched };
+        }
+
+        // Victim buffer.
+        if self.victim_cap > 0 {
+            if let Some(v) = self.victim_lookup(block) {
+                self.stats.hits += 1;
+                self.stats.victim_hits += 1;
+                // Swap back into the set.
+                let idx = self.choose_victim(range.clone());
+                let old = self.ways[idx];
+                if old.valid {
+                    // The displaced line goes to the victim buffer; its
+                    // eviction (if any) is silent unless dirty.
+                    if let Some(wb) = self.victim_insert(old.tag, old.dirty) {
+                        self.stats.writebacks += 1;
+                        let _ = wb;
+                    }
+                }
+                self.clock += 1;
+                self.ways[idx] = Way {
+                    tag: block,
+                    valid: true,
+                    dirty: v.dirty || is_write,
+                    prefetched: false,
+                    stamp: self.clock,
+                    mru: false,
+                };
+                self.touch(idx, range);
+                return LookupOutcome::VictimHit;
+            }
+        }
+
+        self.stats.misses += 1;
+        if !allocate {
+            return LookupOutcome::Miss { writeback: None };
+        }
+        let idx = self.choose_victim(range.clone());
+        let old = self.ways[idx];
+        let mut writeback = None;
+        if old.valid {
+            match self.victim_insert(old.tag, old.dirty) {
+                Some(wb) => {
+                    self.stats.writebacks += 1;
+                    writeback = Some(wb);
+                }
+                None => {}
+            }
+        }
+        self.clock += 1;
+        self.ways[idx] = Way {
+            tag: block,
+            valid: true,
+            dirty: is_write,
+            prefetched: false,
+            stamp: self.clock,
+            mru: false,
+        };
+        self.touch(idx, range);
+        LookupOutcome::Miss { writeback }
+    }
+
+    /// Installs `block` as a prefetch, without touching demand statistics.
+    ///
+    /// Returns a dirty writeback block if the fill evicted one. A block
+    /// already present is left untouched.
+    pub fn fill_prefetch(&mut self, block: u64) -> Option<u64> {
+        let range = self.set_range(block);
+        if range
+            .clone()
+            .any(|i| self.ways[i].valid && self.ways[i].tag == block)
+        {
+            return None;
+        }
+        self.stats.prefetch_fills += 1;
+        let idx = self.choose_victim(range.clone());
+        let old = self.ways[idx];
+        let mut writeback = None;
+        if old.valid {
+            if let Some(wb) = self.victim_insert(old.tag, old.dirty) {
+                self.stats.writebacks += 1;
+                writeback = Some(wb);
+            }
+        }
+        self.clock += 1;
+        self.ways[idx] = Way {
+            tag: block,
+            valid: true,
+            dirty: false,
+            prefetched: true,
+            stamp: self.clock,
+            mru: false,
+        };
+        writeback
+    }
+
+    /// Installs `block` silently: no statistics, no writeback tracking.
+    ///
+    /// Used to pre-warm caches (e.g. code footprints before timing starts,
+    /// or the paper's "initializing the arrays prior to simulation" fix).
+    pub fn prefill(&mut self, block: u64) {
+        let range = self.set_range(block);
+        if range
+            .clone()
+            .any(|i| self.ways[i].valid && self.ways[i].tag == block)
+        {
+            return;
+        }
+        let idx = self.choose_victim(range.clone());
+        self.clock += 1;
+        self.ways[idx] = Way {
+            tag: block,
+            valid: true,
+            dirty: false,
+            prefetched: false,
+            stamp: self.clock,
+            mru: false,
+        };
+        self.touch(idx, range);
+    }
+
+    /// Whether `block` is currently resident (no state change).
+    pub fn contains(&self, block: u64) -> bool {
+        let set = self.indexer.index_of(block) as usize;
+        self.ways[set * self.assoc..(set + 1) * self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IndexHash, TagAccess};
+
+    /// A 4-set cache: `assoc` must keep `4 * assoc * 64` a KiB multiple
+    /// (assoc = 4, 8, …).
+    fn tiny(assoc: u32, replacement: Replacement, victim: u32) -> Cache {
+        let cfg = CacheConfig {
+            size_kb: 4 * assoc * 64 / 1024,
+            assoc,
+            line_bytes: 64,
+            latency: 1,
+            replacement,
+            hash: IndexHash::Mask,
+            tag_access: TagAccess::Parallel,
+            ports: 1,
+            mshrs: 4,
+            victim_entries: victim,
+            write_allocate: true,
+        };
+        assert_eq!(cfg.num_sets(), 4);
+        Cache::new(&cfg)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        assert!(!c.access(10, false, true).is_hit());
+        assert!(c.access(10, false, true).is_hit());
+        assert!(c.contains(10));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        // Four blocks in the same set (stride 4 = num_sets).
+        for b in [0u64, 4, 8, 12] {
+            c.access(b, false, true);
+        }
+        // Touch 0 so 4 becomes LRU.
+        c.access(0, false, true);
+        // Insert a fifth conflicting block.
+        c.access(16, false, true);
+        assert!(c.contains(0), "recently used stays");
+        assert!(!c.contains(4), "LRU evicted");
+        assert!(c.contains(16));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = tiny(4, Replacement::Fifo, 0);
+        for b in [0u64, 4, 8, 12] {
+            c.access(b, false, true);
+        }
+        c.access(0, false, true); // touch; FIFO ignores this
+        c.access(16, false, true);
+        assert!(!c.contains(0), "oldest insertion evicted despite touch");
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        c.access(0, true, true); // dirty
+        for b in [4u64, 8, 12] {
+            c.access(b, false, true);
+        }
+        let out = c.access(16, false, true);
+        assert_eq!(out, LookupOutcome::Miss { writeback: Some(0) });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        for b in [0u64, 4, 8, 12] {
+            c.access(b, false, true);
+        }
+        let out = c.access(16, false, true);
+        assert_eq!(out, LookupOutcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn no_allocate_leaves_cache_unchanged() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        let out = c.access(7, true, false);
+        assert_eq!(out, LookupOutcome::Miss { writeback: None });
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn victim_buffer_catches_conflict_evictions() {
+        let mut c = tiny(4, Replacement::Lru, 4);
+        for b in [0u64, 4, 8, 12, 16] {
+            c.access(b, false, true);
+        }
+        // Block 0 was evicted into the victim buffer.
+        assert!(!c.contains(0));
+        let out = c.access(0, false, true);
+        assert_eq!(out, LookupOutcome::VictimHit);
+        assert!(c.contains(0), "swapped back in");
+        assert_eq!(c.stats().victim_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_and_useful_prefetch_accounting() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        assert_eq!(c.fill_prefetch(20), None);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // Duplicate prefetch is a no-op.
+        assert_eq!(c.fill_prefetch(20), None);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // First demand hit counts as useful.
+        let out = c.access(20, false, true);
+        assert_eq!(
+            out,
+            LookupOutcome::Hit {
+                was_prefetched: true
+            }
+        );
+        assert_eq!(c.stats().useful_prefetches, 1);
+        // Second demand hit is an ordinary hit.
+        let out = c.access(20, false, true);
+        assert_eq!(
+            out,
+            LookupOutcome::Hit {
+                was_prefetched: false
+            }
+        );
+    }
+
+    #[test]
+    fn plru_and_random_always_find_a_victim() {
+        for policy in [Replacement::PseudoLru, Replacement::Random] {
+            let mut c = tiny(4, policy, 0);
+            for b in 0..64u64 {
+                c.access(b, false, true);
+            }
+            let s = c.stats();
+            assert_eq!(s.accesses, 64);
+            assert_eq!(s.misses, 64, "{policy:?}: all distinct blocks miss");
+        }
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny(4, Replacement::Lru, 0);
+        c.access(0, false, true);
+        c.access(0, false, true);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Main-memory timing model.
+
+use crate::config::DramConfig;
+
+/// A flat-latency, bandwidth-regulated DRAM model.
+///
+/// Requests pay a fixed access latency plus queueing delay when the
+/// configured bandwidth (bytes per core cycle) is oversubscribed. The
+/// regulator is a simple leaky bucket over line-sized transfers, which is
+/// what Sniper's high-abstraction DRAM model reduces to for single-core
+/// studies.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    latency: u64,
+    cycles_per_line: u64,
+    /// Cycle at which the channel becomes free.
+    channel_free: u64,
+    /// Total demand requests.
+    accesses: u64,
+    /// Total cycles of queueing delay suffered.
+    queue_cycles: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is zero.
+    pub fn new(cfg: &DramConfig, line_bytes: u32) -> Dram {
+        assert!(cfg.bytes_per_cycle > 0, "DRAM bandwidth must be non-zero");
+        let cycles_per_line = (line_bytes as u64).div_ceil(cfg.bytes_per_cycle as u64);
+        Dram {
+            latency: cfg.latency,
+            cycles_per_line: cycles_per_line.max(1),
+            channel_free: 0,
+            accesses: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Issues a line transfer at `cycle`; returns its completion cycle.
+    pub fn access(&mut self, cycle: u64) -> u64 {
+        self.accesses += 1;
+        let start = cycle.max(self.channel_free);
+        self.queue_cycles += start - cycle;
+        self.channel_free = start + self.cycles_per_line;
+        start + self.latency
+    }
+
+    /// Total requests serviced.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total queueing delay across all requests, in cycles.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    /// The flat access latency, in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_access_pays_flat_latency() {
+        let mut d = Dram::new(&DramConfig::default(), 64);
+        assert_eq!(d.access(100), 100 + 160);
+        assert_eq!(d.accesses(), 1);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue_on_bandwidth() {
+        let cfg = DramConfig {
+            latency: 100,
+            bytes_per_cycle: 8,
+        };
+        // 64B line / 8 Bpc = 8 cycles per line.
+        let mut d = Dram::new(&cfg, 64);
+        let t1 = d.access(0);
+        let t2 = d.access(0);
+        let t3 = d.access(0);
+        assert_eq!(t1, 100);
+        assert_eq!(t2, 108, "second transfer waits for the channel");
+        assert_eq!(t3, 116);
+        assert_eq!(d.queue_cycles(), 8 + 16);
+    }
+
+    #[test]
+    fn spaced_accesses_do_not_queue() {
+        let cfg = DramConfig {
+            latency: 100,
+            bytes_per_cycle: 8,
+        };
+        let mut d = Dram::new(&cfg, 64);
+        d.access(0);
+        let t = d.access(1000);
+        assert_eq!(t, 1100);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn narrow_channel_serialises_harder() {
+        let cfg = DramConfig {
+            latency: 10,
+            bytes_per_cycle: 1,
+        };
+        let mut d = Dram::new(&cfg, 64);
+        let t1 = d.access(0);
+        let t2 = d.access(0);
+        assert_eq!(t1, 10);
+        assert_eq!(t2, 74, "64 cycles of transfer before the second starts");
+    }
+}

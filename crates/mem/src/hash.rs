@@ -1,0 +1,159 @@
+//! Set-index computation.
+
+use crate::config::IndexHash;
+
+/// Maps block addresses to set indices under a configured hashing scheme.
+///
+/// Built once per cache from its geometry; hot-path method is
+/// [`SetIndexer::index_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetIndexer {
+    scheme: IndexHash,
+    num_sets: u32,
+    set_bits: u32,
+    prime: u32,
+}
+
+/// Largest prime `<= n` (n >= 2), by trial division — executed once at
+/// construction time.
+fn largest_prime_at_most(n: u32) -> u32 {
+    fn is_prime(x: u32) -> bool {
+        if x < 2 {
+            return false;
+        }
+        if x % 2 == 0 {
+            return x == 2;
+        }
+        let mut d = 3u32;
+        while (d as u64) * (d as u64) <= x as u64 {
+            if x % d == 0 {
+                return false;
+            }
+            d += 2;
+        }
+        true
+    }
+    let mut p = n;
+    while !is_prime(p) {
+        p -= 1;
+    }
+    p
+}
+
+impl SetIndexer {
+    /// Creates an indexer for a cache with `num_sets` sets (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is zero or not a power of two, or is 1 with the
+    /// Mersenne scheme (no prime available below 2).
+    pub fn new(scheme: IndexHash, num_sets: u32) -> SetIndexer {
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        let prime = if num_sets >= 2 {
+            largest_prime_at_most(num_sets)
+        } else {
+            1
+        };
+        if scheme == IndexHash::MersenneMod {
+            assert!(num_sets >= 2, "Mersenne indexing needs at least 2 sets");
+        }
+        SetIndexer {
+            scheme,
+            num_sets,
+            set_bits: num_sets.trailing_zeros(),
+            prime,
+        }
+    }
+
+    /// Number of sets this indexer can return (`< num_sets` are reachable
+    /// for the Mersenne scheme, exactly `num_sets` otherwise).
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// The set index for a cache-block number (the address already shifted
+    /// right by the line-offset bits).
+    #[inline]
+    pub fn index_of(&self, block: u64) -> u32 {
+        match self.scheme {
+            IndexHash::Mask => (block & (self.num_sets as u64 - 1)) as u32,
+            IndexHash::Xor => {
+                let lo = block & (self.num_sets as u64 - 1);
+                let hi = (block >> self.set_bits) & (self.num_sets as u64 - 1);
+                (lo ^ hi) as u32
+            }
+            IndexHash::MersenneMod => (block % self.prime as u64) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn primes() {
+        assert_eq!(largest_prime_at_most(2), 2);
+        assert_eq!(largest_prime_at_most(64), 61);
+        assert_eq!(largest_prime_at_most(128), 127); // Mersenne prime!
+        assert_eq!(largest_prime_at_most(512), 509);
+        assert_eq!(largest_prime_at_most(1024), 1021);
+    }
+
+    #[test]
+    fn mask_selects_low_bits() {
+        let ix = SetIndexer::new(IndexHash::Mask, 128);
+        assert_eq!(ix.index_of(0), 0);
+        assert_eq!(ix.index_of(127), 127);
+        assert_eq!(ix.index_of(128), 0);
+        assert_eq!(ix.index_of(130), 2);
+    }
+
+    #[test]
+    fn all_schemes_stay_in_range() {
+        for scheme in [IndexHash::Mask, IndexHash::Xor, IndexHash::MersenneMod] {
+            let ix = SetIndexer::new(scheme, 128);
+            for block in (0..100_000u64).step_by(7) {
+                assert!(ix.index_of(block) < 128, "{scheme:?} {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_breaks_power_of_two_strides() {
+        // A stride equal to (sets * line) maps every access to one set
+        // under mask indexing, but spreads under xor.
+        let mask = SetIndexer::new(IndexHash::Mask, 128);
+        let xor = SetIndexer::new(IndexHash::Xor, 128);
+        let blocks: Vec<u64> = (0..64u64).map(|i| i * 128).collect();
+        let mask_sets: HashSet<u32> = blocks.iter().map(|b| mask.index_of(*b)).collect();
+        let xor_sets: HashSet<u32> = blocks.iter().map(|b| xor.index_of(*b)).collect();
+        assert_eq!(mask_sets.len(), 1, "mask: all conflict");
+        assert!(xor_sets.len() >= 32, "xor spreads: {}", xor_sets.len());
+    }
+
+    #[test]
+    fn mersenne_breaks_power_of_two_strides() {
+        let ix = SetIndexer::new(IndexHash::MersenneMod, 128);
+        let sets: HashSet<u32> = (0..64u64).map(|i| ix.index_of(i * 128)).collect();
+        assert!(sets.len() >= 32, "mersenne spreads: {}", sets.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ix = SetIndexer::new(IndexHash::Xor, 64);
+        for b in 0..1000 {
+            assert_eq!(ix.index_of(b), ix.index_of(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_set_count_panics() {
+        let _ = SetIndexer::new(IndexHash::Mask, 96);
+    }
+}

@@ -1,0 +1,366 @@
+//! Hardware prefetcher models.
+//!
+//! The paper provides the tuning algorithm with "configurable prefetching
+//! options including stride [38] and GHB [39] prefetching" — this module
+//! implements those plus a simple next-line scheme, behind the
+//! [`Prefetcher`] trait so the hierarchy can swap them by configuration.
+
+use crate::config::PrefetcherConfig;
+
+/// Maximum prefetches a single trigger may emit.
+pub const MAX_DEGREE: usize = 8;
+
+/// A hardware data prefetcher observing the demand stream of one cache.
+///
+/// Implementations receive every demand access (`pc`, block number and
+/// hit/miss outcome) and append predicted *block numbers* to `out`.
+pub trait Prefetcher: std::fmt::Debug + Send {
+    /// Observes a demand access and appends prefetch candidates to `out`.
+    fn observe(&mut self, pc: u64, block: u64, hit: bool, out: &mut Vec<u64>);
+
+    /// Resets all training state.
+    fn reset(&mut self);
+}
+
+/// Builds a boxed prefetcher from its configuration, or `None` for
+/// [`PrefetcherConfig::None`].
+pub fn build(cfg: PrefetcherConfig) -> Option<Box<dyn Prefetcher>> {
+    match cfg {
+        PrefetcherConfig::None => None,
+        PrefetcherConfig::NextLine => Some(Box::new(NextLinePrefetcher)),
+        PrefetcherConfig::Stride {
+            table_entries,
+            degree,
+        } => Some(Box::new(StridePrefetcher::new(table_entries, degree))),
+        PrefetcherConfig::Ghb {
+            buffer_entries,
+            index_entries,
+            degree,
+        } => Some(Box::new(GhbPrefetcher::new(
+            buffer_entries,
+            index_entries,
+            degree,
+        ))),
+    }
+}
+
+/// Prefetches block `b + 1` on every demand miss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextLinePrefetcher;
+
+impl Prefetcher for NextLinePrefetcher {
+    fn observe(&mut self, _pc: u64, block: u64, hit: bool, out: &mut Vec<u64>) {
+        if !hit {
+            out.push(block + 1);
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    pc_tag: u64,
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// PC-indexed stride prefetcher (Fu, Patel and Janssens, MICRO 1992).
+///
+/// Each static load trains an entry with its last address and observed
+/// stride; after two consecutive confirmations the prefetcher issues
+/// `degree` blocks ahead along the stride.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    mask: u64,
+    degree: u8,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with a power-of-two table size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is zero or not a power of two, or the
+    /// degree exceeds [`MAX_DEGREE`].
+    pub fn new(table_entries: u32, degree: u8) -> StridePrefetcher {
+        assert!(
+            table_entries > 0 && table_entries.is_power_of_two(),
+            "stride table size must be a power of two"
+        );
+        assert!(degree as usize <= MAX_DEGREE, "degree too large");
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); table_entries as usize],
+            mask: table_entries as u64 - 1,
+            degree,
+        }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn observe(&mut self, pc: u64, block: u64, _hit: bool, out: &mut Vec<u64>) {
+        let idx = ((pc >> 2) & self.mask) as usize;
+        let e = &mut self.table[idx];
+        if !e.valid || e.pc_tag != pc {
+            *e = StrideEntry {
+                pc_tag: pc,
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+            return;
+        }
+        let new_stride = block as i64 - e.last_block as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.stride = new_stride;
+            e.confidence = 0;
+        }
+        e.last_block = block;
+        if e.confidence >= 2 {
+            for k in 1..=self.degree as i64 {
+                let pred = block as i64 + e.stride * k;
+                if pred >= 0 {
+                    out.push(pred as u64);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for e in &mut self.table {
+            *e = StrideEntry::default();
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GhbEntry {
+    block: u64,
+    /// Index (into the circular buffer's logical sequence) of the previous
+    /// entry with the same index-table key; `u64::MAX` = none.
+    prev: u64,
+}
+
+/// Global History Buffer prefetcher, G/DC (delta correlation) flavour
+/// (Nesbit and Smith, HPCA 2004).
+///
+/// Misses are appended to a circular global history buffer; an index table
+/// keyed by PC links entries of the same static load. On a trigger the
+/// prefetcher walks the chain, computes the two most recent deltas, looks
+/// for the same delta pair earlier in the chain, and replays the deltas
+/// that followed it.
+#[derive(Debug, Clone)]
+pub struct GhbPrefetcher {
+    buffer: Vec<GhbEntry>,
+    head: u64, // monotone count of pushed entries
+    index: Vec<(u64, u64)>, // (pc_tag, last_seq) per index-table slot
+    index_mask: u64,
+    degree: u8,
+}
+
+impl GhbPrefetcher {
+    /// Creates a GHB prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_entries` is not a power of two, `buffer_entries`
+    /// is zero, or the degree exceeds [`MAX_DEGREE`].
+    pub fn new(buffer_entries: u32, index_entries: u32, degree: u8) -> GhbPrefetcher {
+        assert!(buffer_entries > 0, "GHB buffer must be non-empty");
+        assert!(
+            index_entries > 0 && index_entries.is_power_of_two(),
+            "GHB index size must be a power of two"
+        );
+        assert!(degree as usize <= MAX_DEGREE, "degree too large");
+        GhbPrefetcher {
+            buffer: vec![GhbEntry::default(); buffer_entries as usize],
+            head: 0,
+            index: vec![(u64::MAX, u64::MAX); index_entries as usize],
+            index_mask: index_entries as u64 - 1,
+            degree,
+        }
+    }
+
+    fn entry(&self, seq: u64) -> Option<&GhbEntry> {
+        if seq == u64::MAX || seq >= self.head || self.head - seq > self.buffer.len() as u64 {
+            return None;
+        }
+        Some(&self.buffer[(seq % self.buffer.len() as u64) as usize])
+    }
+
+    /// Collects the chain of blocks for one PC, most recent first.
+    fn chain(&self, mut seq: u64, max: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(max);
+        while out.len() < max {
+            let Some(e) = self.entry(seq) else { break };
+            out.push(e.block);
+            seq = e.prev;
+        }
+        out
+    }
+}
+
+impl Prefetcher for GhbPrefetcher {
+    fn observe(&mut self, pc: u64, block: u64, hit: bool, out: &mut Vec<u64>) {
+        if hit {
+            return;
+        }
+        let slot = ((pc >> 2) & self.index_mask) as usize;
+        let (tag, last) = self.index[slot];
+        let prev = if tag == pc { last } else { u64::MAX };
+        let seq = self.head;
+        let buf_len = self.buffer.len() as u64;
+        self.buffer[(seq % buf_len) as usize] = GhbEntry { block, prev };
+        self.head += 1;
+        self.index[slot] = (pc, seq);
+
+        // Delta correlation over this PC's miss chain.
+        let chain = self.chain(seq, 16);
+        if chain.len() < 4 {
+            return;
+        }
+        let d1 = chain[0] as i64 - chain[1] as i64; // most recent delta
+        let d2 = chain[1] as i64 - chain[2] as i64;
+        // Find the same (d2, d1) pair earlier in the chain.
+        for w in 2..chain.len() - 1 {
+            let e1 = chain[w - 1] as i64 - chain[w] as i64;
+            let e2 = chain[w] as i64 - chain[w + 1] as i64;
+            if e1 == d1 && e2 == d2 {
+                // Replay the deltas that followed the match.
+                let mut predicted = block as i64;
+                let mut emitted = 0u8;
+                let mut j = w - 1;
+                while emitted < self.degree && j >= 1 {
+                    let delta = chain[j - 1] as i64 - chain[j] as i64;
+                    predicted += delta;
+                    if predicted >= 0 {
+                        out.push(predicted as u64);
+                        emitted += 1;
+                    }
+                    j -= 1;
+                }
+                return;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.head = 0;
+        for e in &mut self.index {
+            *e = (u64::MAX, u64::MAX);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_prefetches_on_miss_only() {
+        let mut p = NextLinePrefetcher;
+        let mut out = Vec::new();
+        p.observe(0x100, 10, true, &mut out);
+        assert!(out.is_empty());
+        p.observe(0x100, 10, false, &mut out);
+        assert_eq!(out, vec![11]);
+    }
+
+    #[test]
+    fn stride_learns_constant_strides() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        // Same pc, stride 3 blocks.
+        for i in 0..5u64 {
+            out.clear();
+            p.observe(0x400, 100 + i * 3, false, &mut out);
+        }
+        assert_eq!(out, vec![100 + 4 * 3 + 3, 100 + 4 * 3 + 6]);
+    }
+
+    #[test]
+    fn stride_does_not_fire_on_random_pattern() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        for b in [5u64, 90, 17, 230, 44] {
+            p.observe(0x400, b, false, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stride_distinguishes_pcs() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let mut out = Vec::new();
+        // Interleave two PCs with different strides; both should train.
+        for i in 0..6u64 {
+            out.clear();
+            p.observe(0x400, 10 + i * 2, false, &mut out);
+            p.observe(0x404, 1000 + i * 5, false, &mut out);
+        }
+        assert!(out.contains(&(1000 + 5 * 5 + 5)));
+    }
+
+    #[test]
+    fn ghb_replays_repeating_delta_patterns() {
+        let mut p = GhbPrefetcher::new(64, 32, 2);
+        let mut out = Vec::new();
+        // Pattern of deltas +1, +2, +10 repeating: 0,1,3,13,14,16,26,...
+        let mut b = 0u64;
+        let deltas = [1u64, 2, 10];
+        for i in 0..12 {
+            out.clear();
+            p.observe(0x800, b, false, &mut out);
+            b += deltas[i % 3];
+        }
+        assert!(
+            !out.is_empty(),
+            "GHB should recognise the repeating delta pair"
+        );
+    }
+
+    #[test]
+    fn ghb_stays_quiet_without_history() {
+        let mut p = GhbPrefetcher::new(64, 32, 2);
+        let mut out = Vec::new();
+        p.observe(0x800, 42, false, &mut out);
+        p.observe(0x800, 50, false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn build_dispatches_on_config() {
+        assert!(build(PrefetcherConfig::None).is_none());
+        assert!(build(PrefetcherConfig::NextLine).is_some());
+        assert!(build(PrefetcherConfig::Stride {
+            table_entries: 16,
+            degree: 1
+        })
+        .is_some());
+        assert!(build(PrefetcherConfig::Ghb {
+            buffer_entries: 32,
+            index_entries: 16,
+            degree: 2
+        })
+        .is_some());
+    }
+
+    #[test]
+    fn reset_clears_training() {
+        let mut p = StridePrefetcher::new(16, 1);
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            p.observe(0x40, i * 4, false, &mut out);
+        }
+        out.clear();
+        p.reset();
+        p.observe(0x40, 100, false, &mut out);
+        assert!(out.is_empty(), "no prediction right after reset");
+    }
+}

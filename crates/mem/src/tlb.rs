@@ -1,0 +1,139 @@
+//! Translation lookaside buffer model.
+
+use crate::config::TlbConfig;
+
+/// Per-TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub accesses: u64,
+    /// Translations that missed and paid a walk.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss rate in `[0, 1]`; zero with no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A fully-associative, true-LRU TLB.
+///
+/// The golden-reference hardware platform always models a TLB; the
+/// user-facing simulator config may leave it out ([`None`] in
+/// [`HierarchyConfig::tlb`](crate::HierarchyConfig::tlb)), which is one of
+/// the deliberate abstraction gaps the validation methodology has to cope
+/// with.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page number, last-use stamp)
+    capacity: usize,
+    page_shift: u32,
+    miss_penalty: u64,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power of two or the capacity is 0.
+    pub fn new(cfg: &TlbConfig) -> Tlb {
+        assert!(cfg.entries > 0, "TLB needs at least one entry");
+        assert!(
+            cfg.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            entries: Vec::with_capacity(cfg.entries as usize),
+            capacity: cfg.entries as usize,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            miss_penalty: cfg.miss_penalty,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates `addr`, returning the added latency (0 on a hit, the walk
+    /// penalty on a miss).
+    pub fn translate(&mut self, addr: u64) -> u64 {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let page = addr >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            return 0;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .expect("full TLB has entries");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.clock));
+        self.miss_penalty
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: u32) -> Tlb {
+        Tlb::new(&TlbConfig {
+            entries,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        })
+    }
+
+    #[test]
+    fn hit_within_page() {
+        let mut t = tlb(4);
+        assert_eq!(t.translate(0x1000), 30, "cold miss");
+        assert_eq!(t.translate(0x1ff8), 0, "same page hits");
+        assert_eq!(t.translate(0x2000), 30, "next page misses");
+        assert_eq!(t.stats().accesses, 3);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tlb(2);
+        t.translate(0x1000); // page 1
+        t.translate(0x2000); // page 2
+        t.translate(0x1000); // touch page 1
+        t.translate(0x3000); // evicts page 2
+        assert_eq!(t.translate(0x1000), 0, "page 1 retained");
+        assert_eq!(t.translate(0x2000), 30, "page 2 evicted");
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut t = tlb(16);
+        for i in 0..8u64 {
+            t.translate(i * 4096);
+        }
+        for i in 0..8u64 {
+            t.translate(i * 4096);
+        }
+        assert!((t.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

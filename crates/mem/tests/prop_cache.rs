@@ -1,0 +1,97 @@
+//! Property tests on cache invariants.
+
+use proptest::prelude::*;
+use racesim_mem::{Cache, CacheConfig, IndexHash, Replacement};
+
+fn cfg(replacement: Replacement, hash: IndexHash, victim: u32) -> CacheConfig {
+    CacheConfig {
+        size_kb: 1,
+        assoc: 4,
+        replacement,
+        hash,
+        victim_entries: victim,
+        ..CacheConfig::l1_default()
+    }
+}
+
+fn arb_policy() -> impl Strategy<Value = Replacement> {
+    prop_oneof![
+        Just(Replacement::Lru),
+        Just(Replacement::PseudoLru),
+        Just(Replacement::Random),
+        Just(Replacement::Fifo),
+    ]
+}
+
+fn arb_hash() -> impl Strategy<Value = IndexHash> {
+    prop_oneof![
+        Just(IndexHash::Mask),
+        Just(IndexHash::Xor),
+        Just(IndexHash::MersenneMod),
+    ]
+}
+
+proptest! {
+    /// accesses == hits + misses under every policy/hash combination and
+    /// access mix; an access to a block leaves it resident (when
+    /// allocating), so an immediate repeat hits.
+    #[test]
+    fn counters_and_residency(
+        policy in arb_policy(),
+        hash in arb_hash(),
+        victim in prop_oneof![Just(0u32), Just(4u32)],
+        blocks in proptest::collection::vec((0u64..4096, any::<bool>()), 1..300),
+    ) {
+        let mut c = Cache::new(&cfg(policy, hash, victim));
+        for (b, w) in &blocks {
+            c.access(*b, *w, true);
+            // Immediately after an allocating access the block is present.
+            prop_assert!(c.contains(*b), "{policy:?}/{hash:?} lost block {b}");
+            let again = c.access(*b, false, true);
+            prop_assert!(again.is_hit());
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, 2 * blocks.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.hits >= blocks.len() as u64, "every repeat hits");
+    }
+
+    /// Prefetch fills never corrupt demand counters, and prefilled blocks
+    /// hit on first demand access.
+    #[test]
+    fn prefetch_fills_are_invisible_to_demand_counters(
+        blocks in proptest::collection::vec(0u64..1024, 1..100),
+    ) {
+        let mut c = Cache::new(&cfg(Replacement::Lru, IndexHash::Mask, 0));
+        for b in &blocks {
+            c.fill_prefetch(*b);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, 0);
+        prop_assert_eq!(s.hits, 0);
+        prop_assert_eq!(s.misses, 0);
+        prop_assert!(s.prefetch_fills as usize <= blocks.len());
+        // The most recently prefetched block is still resident.
+        let last = *blocks.last().unwrap();
+        prop_assert!(c.contains(last));
+        let out = c.access(last, false, true);
+        prop_assert!(out.is_hit());
+    }
+
+    /// The same access sequence gives identical statistics twice
+    /// (determinism even for the Random policy, which is seeded).
+    #[test]
+    fn deterministic_across_runs(
+        policy in arb_policy(),
+        blocks in proptest::collection::vec((0u64..512, any::<bool>()), 1..200),
+    ) {
+        let run = || {
+            let mut c = Cache::new(&cfg(policy, IndexHash::Mask, 0));
+            for (b, w) in &blocks {
+                c.access(*b, *w, true);
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

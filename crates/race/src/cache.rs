@@ -1,0 +1,62 @@
+//! Cost-evaluation cache.
+
+use crate::param::Configuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A thread-safe memo of `(configuration, instance) → cost`.
+///
+/// Elite configurations survive across iterations and are re-raced; the
+/// cache keeps the (deterministic) simulator from re-running them and the
+/// budget accounting from double-charging them.
+#[derive(Debug, Default)]
+pub struct CostCache {
+    map: Mutex<HashMap<(Configuration, usize), f64>>,
+}
+
+impl CostCache {
+    /// Creates an empty cache.
+    pub fn new() -> CostCache {
+        CostCache::default()
+    }
+
+    /// Looks up a memoised cost.
+    pub fn get(&self, cfg: &Configuration, instance: usize) -> Option<f64> {
+        self.map.lock().get(&(cfg.clone(), instance)).copied()
+    }
+
+    /// Stores a cost.
+    pub fn put(&self, cfg: &Configuration, instance: usize, cost: f64) {
+        self.map.lock().insert((cfg.clone(), instance), cost);
+    }
+
+    /// Number of memoised evaluations.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpace;
+
+    #[test]
+    fn memoisation() {
+        let mut s = ParamSpace::new();
+        s.add_bool("x");
+        let c = s.default_configuration();
+        let cache = CostCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&c, 0), None);
+        cache.put(&c, 0, 1.5);
+        assert_eq!(cache.get(&c, 0), Some(1.5));
+        assert_eq!(cache.get(&c, 1), None);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-parameter sampling distributions (step 1 and step 3 of Figure 2).
+
+use crate::param::{Configuration, Domain, ParamSpace, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The sampling model: one discrete distribution per categorical/boolean
+/// parameter, and a shrinking perturbation width for ordered integer
+/// parameters (sampled around an elite parent).
+///
+/// "Each configuration parameter is associated with a sampling
+/// distribution … Initial sampling assumes all values have equal weights.
+/// As the algorithm starts finding winning configurations, it updates the
+/// distributions associated with each parameter … biasing the weights to
+/// increase the probability of selecting the right value."
+#[derive(Debug, Clone)]
+pub struct SamplingModel {
+    /// Weights per parameter (categorical/bool; empty for integers).
+    weights: Vec<Vec<f64>>,
+    /// Relative perturbation width for integer parameters, in domain
+    /// fraction; decays as iterations progress.
+    pub spread: f64,
+}
+
+impl SamplingModel {
+    /// A uniform model over the space.
+    pub fn new(space: &ParamSpace) -> SamplingModel {
+        let weights = space
+            .params()
+            .iter()
+            .map(|p| match &p.domain {
+                Domain::Categorical(cs) => vec![1.0; cs.len()],
+                Domain::Bool => vec![1.0; 2],
+                Domain::Integer(_) => Vec::new(),
+            })
+            .collect();
+        SamplingModel {
+            weights,
+            spread: 1.0,
+        }
+    }
+
+    fn weighted_choice(rng: &mut StdRng, w: &[f64]) -> usize {
+        let total: f64 = w.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, wi) in w.iter().enumerate() {
+            if x < *wi {
+                return i;
+            }
+            x -= wi;
+        }
+        w.len() - 1
+    }
+
+    /// Samples a configuration from scratch (first iteration).
+    pub fn sample(&self, space: &ParamSpace, rng: &mut StdRng) -> Configuration {
+        let mut c = space.default_configuration();
+        for (idx, p) in space.params().iter().enumerate() {
+            let v = match &p.domain {
+                Domain::Categorical(_) => {
+                    Value::Cat(Self::weighted_choice(rng, &self.weights[idx]) as u16)
+                }
+                Domain::Bool => Value::Flag(Self::weighted_choice(rng, &self.weights[idx]) == 1),
+                Domain::Integer(vs) => Value::Int(rng.gen_range(0..vs.len()) as u16),
+            };
+            c.set_value(idx, v);
+        }
+        c
+    }
+
+    /// Samples a configuration around an elite `parent` (later
+    /// iterations): categorical/bool values are resampled from the learned
+    /// weights, integer values take a truncated, discretised normal step
+    /// around the parent's value with the current [`spread`](Self::spread).
+    pub fn sample_around(
+        &self,
+        space: &ParamSpace,
+        parent: &Configuration,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let mut c = parent.clone();
+        for (idx, p) in space.params().iter().enumerate() {
+            match &p.domain {
+                Domain::Categorical(_) | Domain::Bool => {
+                    // Keep the parent's value most of the time; otherwise
+                    // resample from the learned distribution.
+                    if rng.gen_bool((self.spread * 0.75).clamp(0.05, 0.9)) {
+                        let i = Self::weighted_choice(rng, &self.weights[idx]);
+                        let v = if matches!(p.domain, Domain::Bool) {
+                            Value::Flag(i == 1)
+                        } else {
+                            Value::Cat(i as u16)
+                        };
+                        c.set_value(idx, v);
+                    }
+                }
+                Domain::Integer(vs) => {
+                    let cur = match parent.value(idx) {
+                        Value::Int(i) => i as f64,
+                        _ => 0.0,
+                    };
+                    let sd = (self.spread * vs.len() as f64 / 2.0).max(0.35);
+                    // Box-Muller normal step.
+                    let u1: f64 = rng.gen_range(1e-9..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let stepped = (cur + z * sd).round();
+                    let clamped = stepped.clamp(0.0, (vs.len() - 1) as f64) as u16;
+                    c.set_value(idx, Value::Int(clamped));
+                }
+            }
+        }
+        c
+    }
+
+    /// Biases the weights toward the elite configurations (step 3) and
+    /// shrinks the integer perturbation width.
+    pub fn update(&mut self, space: &ParamSpace, elites: &[&Configuration], learning_rate: f64) {
+        if elites.is_empty() {
+            return;
+        }
+        for (idx, p) in space.params().iter().enumerate() {
+            let k = p.domain.cardinality();
+            if matches!(p.domain, Domain::Integer(_)) {
+                continue;
+            }
+            let mut freq = vec![0.0; k];
+            for e in elites {
+                let i = match e.value(idx) {
+                    Value::Cat(i) => i as usize,
+                    Value::Flag(b) => usize::from(b),
+                    Value::Int(i) => i as usize,
+                };
+                freq[i] += 1.0 / elites.len() as f64;
+            }
+            let w = &mut self.weights[idx];
+            let total: f64 = w.iter().sum();
+            for (wi, fi) in w.iter_mut().zip(&freq) {
+                *wi = (*wi / total) * (1.0 - learning_rate) + learning_rate * fi;
+                // Keep a probability floor so no value is unreachable.
+                *wi = wi.max(0.02 / k as f64);
+            }
+        }
+        self.spread = (self.spread * 0.6).max(0.08);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add_categorical("c", &["a", "b", "d"]);
+        s.add_integer("n", &[1, 2, 4, 8, 16, 32]);
+        s.add_bool("f");
+        s
+    }
+
+    #[test]
+    fn uniform_sampling_covers_the_space() {
+        let s = space();
+        let m = SamplingModel::new(&s);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_cat = std::collections::HashSet::new();
+        let mut seen_int = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let c = m.sample(&s, &mut rng);
+            seen_cat.insert(c.categorical(&s, "c").to_string());
+            seen_int.insert(c.integer(&s, "n"));
+        }
+        assert_eq!(seen_cat.len(), 3);
+        assert_eq!(seen_int.len(), 6);
+    }
+
+    #[test]
+    fn updates_concentrate_mass_on_elites() {
+        let s = space();
+        let mut m = SamplingModel::new(&s);
+        let mut elite = s.default_configuration();
+        elite.set_categorical(&s, "c", "b");
+        elite.set_flag(&s, "f", true);
+        for _ in 0..6 {
+            m.update(&s, &[&elite], 0.5);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..200)
+            .filter(|_| {
+                let c = m.sample(&s, &mut rng);
+                c.categorical(&s, "c") == "b" && c.flag(&s, "f")
+            })
+            .count();
+        assert!(hits > 150, "mass concentrates: {hits}/200");
+    }
+
+    #[test]
+    fn sampling_around_a_parent_stays_local_when_spread_is_small() {
+        let s = space();
+        let mut m = SamplingModel::new(&s);
+        m.spread = 0.08;
+        let mut parent = s.default_configuration();
+        parent.set_integer(&s, "n", 8); // index 3
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut far = 0;
+        for _ in 0..200 {
+            let c = m.sample_around(&s, &parent, &mut rng);
+            let v = c.integer(&s, "n");
+            if !(2..=32).contains(&v) {
+                far += 1;
+            }
+        }
+        assert!(far < 20, "small spread keeps neighbours close: {far}");
+    }
+
+    #[test]
+    fn update_with_no_elites_is_a_noop() {
+        let s = space();
+        let mut m = SamplingModel::new(&s);
+        let before = m.clone();
+        m.update(&s, &[], 0.5);
+        assert_eq!(format!("{before:?}"), format!("{m:?}"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Parameter spaces and configurations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The domain of one tunable parameter.
+///
+/// The paper: "There are parameters that require a binary true or false
+/// value … Other parameters can take on a relatively large number of
+/// possibilities … to avoid wasting irace's budget, these parameters are
+/// given a limited set of discrete values. Other parameters can assume a
+/// discrete set of parameters to select a particular feature."
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// An unordered choice among named alternatives (e.g. which branch
+    /// predictor).
+    Categorical(Vec<String>),
+    /// An *ordered* set of discrete numeric values (e.g. ROB sizes).
+    Integer(Vec<i64>),
+    /// True/false.
+    Bool,
+}
+
+impl Domain {
+    /// Number of candidate values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Domain::Categorical(v) => v.len(),
+            Domain::Integer(v) => v.len(),
+            Domain::Bool => 2,
+        }
+    }
+}
+
+/// One tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Unique name.
+    pub name: String,
+    /// Candidate values.
+    pub domain: Domain,
+}
+
+/// The value a configuration assigns to one parameter, stored as an index
+/// into its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Index into a categorical domain.
+    Cat(u16),
+    /// Index into an ordered integer domain.
+    Int(u16),
+    /// A boolean.
+    Flag(bool),
+}
+
+/// An ordered collection of parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamSpace {
+    params: Vec<Param>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamSpace {
+    /// Creates an empty space.
+    pub fn new() -> ParamSpace {
+        ParamSpace::default()
+    }
+
+    fn push(&mut self, p: Param) {
+        assert!(
+            !self.by_name.contains_key(&p.name),
+            "duplicate parameter {}",
+            p.name
+        );
+        assert!(p.domain.cardinality() >= 1, "empty domain for {}", p.name);
+        self.by_name.insert(p.name.clone(), self.params.len());
+        self.params.push(p);
+    }
+
+    /// Adds a categorical parameter.
+    pub fn add_categorical(&mut self, name: &str, choices: &[&str]) {
+        self.push(Param {
+            name: name.to_string(),
+            domain: Domain::Categorical(choices.iter().map(|s| s.to_string()).collect()),
+        });
+    }
+
+    /// Adds an ordered discrete numeric parameter.
+    pub fn add_integer(&mut self, name: &str, values: &[i64]) {
+        self.push(Param {
+            name: name.to_string(),
+            domain: Domain::Integer(values.to_vec()),
+        });
+    }
+
+    /// Adds a boolean parameter.
+    pub fn add_bool(&mut self, name: &str) {
+        self.push(Param {
+            name: name.to_string(),
+            domain: Domain::Bool,
+        });
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameters, in insertion order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The index of a named parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameter has this name.
+    pub fn index_of(&self, name: &str) -> usize {
+        *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    /// Total number of distinct configurations (saturating).
+    pub fn cardinality(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.domain.cardinality() as u128)
+            .product()
+    }
+
+    /// The default configuration: the first value of every domain.
+    pub fn default_configuration(&self) -> Configuration {
+        Configuration {
+            values: self
+                .params
+                .iter()
+                .map(|p| match &p.domain {
+                    Domain::Categorical(_) => Value::Cat(0),
+                    Domain::Integer(_) => Value::Int(0),
+                    Domain::Bool => Value::Flag(false),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A complete assignment of values to a [`ParamSpace`]'s parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    pub(crate) values: Vec<Value>,
+}
+
+impl Configuration {
+    /// The raw value for parameter `idx`.
+    pub fn value(&self, idx: usize) -> Value {
+        self.values[idx]
+    }
+
+    /// Sets the raw value for parameter `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the value kind mismatches the domain or
+    /// the index is out of the domain's range — the caller is expected to
+    /// construct values through the sampling model or the setters below.
+    pub fn set_value(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// The selected choice of a categorical parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not categorical.
+    pub fn categorical<'s>(&self, space: &'s ParamSpace, name: &str) -> &'s str {
+        let idx = space.index_of(name);
+        match (&space.params()[idx].domain, self.values[idx]) {
+            (Domain::Categorical(cs), Value::Cat(i)) => &cs[i as usize],
+            _ => panic!("parameter {name} is not categorical"),
+        }
+    }
+
+    /// The selected value of an integer parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not an integer parameter.
+    pub fn integer(&self, space: &ParamSpace, name: &str) -> i64 {
+        let idx = space.index_of(name);
+        match (&space.params()[idx].domain, self.values[idx]) {
+            (Domain::Integer(vs), Value::Int(i)) => vs[i as usize],
+            _ => panic!("parameter {name} is not an integer parameter"),
+        }
+    }
+
+    /// The value of a boolean parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not boolean.
+    pub fn flag(&self, space: &ParamSpace, name: &str) -> bool {
+        let idx = space.index_of(name);
+        match (&space.params()[idx].domain, self.values[idx]) {
+            (Domain::Bool, Value::Flag(b)) => b,
+            _ => panic!("parameter {name} is not boolean"),
+        }
+    }
+
+    /// Sets a categorical parameter by choice name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not categorical or the choice is
+    /// unknown.
+    pub fn set_categorical(&mut self, space: &ParamSpace, name: &str, choice: &str) {
+        let idx = space.index_of(name);
+        match &space.params()[idx].domain {
+            Domain::Categorical(cs) => {
+                let i = cs
+                    .iter()
+                    .position(|c| c == choice)
+                    .unwrap_or_else(|| panic!("{name} has no choice {choice}"));
+                self.values[idx] = Value::Cat(i as u16);
+            }
+            _ => panic!("parameter {name} is not categorical"),
+        }
+    }
+
+    /// Sets an integer parameter to one of its candidate values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not integer-valued or `v` is not a
+    /// candidate.
+    pub fn set_integer(&mut self, space: &ParamSpace, name: &str, v: i64) {
+        let idx = space.index_of(name);
+        match &space.params()[idx].domain {
+            Domain::Integer(vs) => {
+                let i = vs
+                    .iter()
+                    .position(|x| *x == v)
+                    .unwrap_or_else(|| panic!("{name} has no candidate value {v}"));
+                self.values[idx] = Value::Int(i as u16);
+            }
+            _ => panic!("parameter {name} is not an integer parameter"),
+        }
+    }
+
+    /// Sets a boolean parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not boolean.
+    pub fn set_flag(&mut self, space: &ParamSpace, name: &str, v: bool) {
+        let idx = space.index_of(name);
+        match &space.params()[idx].domain {
+            Domain::Bool => self.values[idx] = Value::Flag(v),
+            _ => panic!("parameter {name} is not boolean"),
+        }
+    }
+
+    /// Renders the configuration as `name=value` pairs.
+    pub fn render(&self, space: &ParamSpace) -> String {
+        let mut out = String::new();
+        for (p, v) in space.params().iter().zip(&self.values) {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            match (&p.domain, v) {
+                (Domain::Categorical(cs), Value::Cat(i)) => {
+                    out.push_str(&format!("{}={}", p.name, cs[*i as usize]));
+                }
+                (Domain::Integer(vs), Value::Int(i)) => {
+                    out.push_str(&format!("{}={}", p.name, vs[*i as usize]));
+                }
+                (Domain::Bool, Value::Flag(b)) => {
+                    out.push_str(&format!("{}={}", p.name, b));
+                }
+                _ => out.push_str(&format!("{}=<corrupt>", p.name)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Categorical(cs) => write!(f, "{{{}}}", cs.join("|")),
+            Domain::Integer(vs) => write!(
+                f,
+                "[{}]",
+                vs.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            Domain::Bool => f.write_str("{true|false}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add_categorical("predictor", &["bimodal", "gshare", "tournament"]);
+        s.add_integer("rob", &[32, 64, 128, 192]);
+        s.add_bool("prefetch");
+        s
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let s = space();
+        let mut c = s.default_configuration();
+        assert_eq!(c.categorical(&s, "predictor"), "bimodal");
+        assert_eq!(c.integer(&s, "rob"), 32);
+        assert!(!c.flag(&s, "prefetch"));
+
+        c.set_categorical(&s, "predictor", "tournament");
+        c.set_integer(&s, "rob", 128);
+        c.set_flag(&s, "prefetch", true);
+        assert_eq!(c.categorical(&s, "predictor"), "tournament");
+        assert_eq!(c.integer(&s, "rob"), 128);
+        assert!(c.flag(&s, "prefetch"));
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(space().cardinality(), 3 * 4 * 2);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let s = space();
+        let c = s.default_configuration();
+        assert_eq!(c.render(&s), "predictor=bimodal, rob=32, prefetch=false");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_rejected() {
+        let mut s = space();
+        s.add_bool("rob");
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate value")]
+    fn setting_off_grid_integer_panics() {
+        let s = space();
+        let mut c = s.default_configuration();
+        c.set_integer(&s, "rob", 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_parameter_panics() {
+        let s = space();
+        let c = s.default_configuration();
+        let _ = c.flag(&s, "nonexistent");
+    }
+}

@@ -1,0 +1,414 @@
+//! The racing procedure (step 2 of Figure 2).
+
+use crate::cache::CostCache;
+use crate::param::{Configuration, ParamSpace};
+use crate::tuner::CostFn;
+use racesim_stats::{friedman_test, mean, paired_t_test, wilcoxon_signed_rank};
+
+/// Which statistical machinery eliminates losing configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EliminationTest {
+    /// Friedman rank test as a gate, then pairwise Wilcoxon signed-rank
+    /// against the current leader (irace's default F-race).
+    Friedman,
+    /// Pairwise paired t-tests against the current leader (t-race).
+    PairedT,
+}
+
+/// Race parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceSettings {
+    /// Significance level for elimination.
+    pub alpha: f64,
+    /// Number of instances evaluated before the first statistical test
+    /// (irace's `firstTest`).
+    pub first_test: usize,
+    /// Never eliminate below this many survivors.
+    pub min_survivors: usize,
+    /// The elimination machinery.
+    pub test: EliminationTest,
+}
+
+impl Default for RaceSettings {
+    fn default() -> RaceSettings {
+        RaceSettings {
+            alpha: 0.05,
+            first_test: 5,
+            min_survivors: 2,
+            test: EliminationTest::Friedman,
+        }
+    }
+}
+
+/// One elimination event, for Figure-2-style visualisations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceLogEntry {
+    /// Index of the eliminated configuration (into the race's config
+    /// list).
+    pub config: usize,
+    /// How many instances it had been evaluated on when eliminated.
+    pub after_blocks: usize,
+}
+
+/// Outcome of one race.
+#[derive(Debug, Clone)]
+pub struct RaceResult {
+    /// Surviving configuration indices, best (lowest mean cost) first.
+    pub survivors: Vec<usize>,
+    /// Mean cost of each surviving configuration over the blocks it saw.
+    pub survivor_costs: Vec<f64>,
+    /// Instances (blocks) actually raced.
+    pub blocks_used: usize,
+    /// Fresh cost evaluations consumed.
+    pub evals_used: u64,
+    /// Elimination log.
+    pub log: Vec<RaceLogEntry>,
+}
+
+/// Evaluates `configs[i]` on `instance` for every alive index, in
+/// parallel, returning the fresh-evaluation count.
+fn evaluate_block(
+    space: &ParamSpace,
+    configs: &[Configuration],
+    alive: &[bool],
+    instance: usize,
+    cost: &dyn CostFn,
+    cache: &CostCache,
+    out: &mut [Vec<f64>],
+    threads: usize,
+) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let todo: Vec<usize> = (0..configs.len())
+        .filter(|&i| {
+            alive[i]
+                && cache.get(&configs[i], instance).is_none()
+                && seen.insert(&configs[i])
+        })
+        .collect();
+    let fresh = todo.len() as u64;
+    if threads <= 1 || todo.len() <= 1 {
+        for &i in &todo {
+            let c = cost.cost(&configs[i], space, instance);
+            cache.put(&configs[i], instance, c);
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(todo.len()) {
+                scope.spawn(|_| loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= todo.len() {
+                        break;
+                    }
+                    let i = todo[k];
+                    let c = cost.cost(&configs[i], space, instance);
+                    cache.put(&configs[i], instance, c);
+                });
+            }
+        })
+        .expect("race evaluation worker panicked");
+    }
+    for (i, row) in out.iter_mut().enumerate() {
+        if alive[i] {
+            row.push(
+                cache
+                    .get(&configs[i], instance)
+                    .expect("cost evaluated above"),
+            );
+        }
+    }
+    fresh
+}
+
+/// Races `configs` across `instance_order`, eliminating statistically
+/// inferior configurations as evidence accumulates.
+///
+/// `budget` is decremented by every fresh evaluation; the race stops when
+/// the instances or the budget run out, or when only `min_survivors`
+/// remain.
+///
+/// # Panics
+///
+/// Panics if `configs` or `instance_order` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn race(
+    space: &ParamSpace,
+    configs: &[Configuration],
+    instance_order: &[usize],
+    cost: &dyn CostFn,
+    cache: &CostCache,
+    settings: &RaceSettings,
+    budget: &mut u64,
+    threads: usize,
+) -> RaceResult {
+    assert!(!configs.is_empty(), "cannot race zero configurations");
+    assert!(!instance_order.is_empty(), "cannot race on zero instances");
+
+    let k = configs.len();
+    let mut alive = vec![true; k];
+    let mut alive_count = k;
+    // Per-config cost history (only while alive; index-aligned rows are
+    // rebuilt from scratch at elimination time).
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut log = Vec::new();
+    let mut evals_used = 0u64;
+    let mut blocks_used = 0usize;
+
+    for (block_no, &inst) in instance_order.iter().enumerate() {
+        if *budget < alive_count as u64 {
+            break;
+        }
+        let fresh = evaluate_block(
+            space, configs, &alive, inst, cost, cache, &mut costs, threads,
+        );
+        *budget = budget.saturating_sub(fresh);
+        evals_used += fresh;
+        blocks_used = block_no + 1;
+
+        if blocks_used < settings.first_test || alive_count <= settings.min_survivors {
+            continue;
+        }
+
+        // Build the blocks × alive-configs matrix.
+        let alive_idx: Vec<usize> = (0..k).filter(|&i| alive[i]).collect();
+        let matrix: Vec<Vec<f64>> = (0..blocks_used)
+            .map(|b| alive_idx.iter().map(|&i| costs[i][b]).collect())
+            .collect();
+
+        // Gate: does any configuration differ at all?
+        let gate_passed = match settings.test {
+            EliminationTest::Friedman => friedman_test(&matrix)
+                .map(|o| o.p_value < settings.alpha)
+                .unwrap_or(false),
+            EliminationTest::PairedT => true,
+        };
+        if !gate_passed {
+            continue;
+        }
+
+        // Pairwise comparison of every alive config against the leader.
+        let best_local = (0..alive_idx.len())
+            .min_by(|&a, &b| {
+                mean(&costs[alive_idx[a]])
+                    .partial_cmp(&mean(&costs[alive_idx[b]]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one alive config");
+        let best = alive_idx[best_local];
+
+        let mut to_kill: Vec<(usize, f64)> = Vec::new();
+        for &j in &alive_idx {
+            if j == best {
+                continue;
+            }
+            let worse = mean(&costs[j]) > mean(&costs[best]);
+            let p = match settings.test {
+                EliminationTest::Friedman => wilcoxon_signed_rank(&costs[j], &costs[best]).1,
+                EliminationTest::PairedT => paired_t_test(&costs[j], &costs[best]).1,
+            };
+            if worse && p < settings.alpha {
+                to_kill.push((j, mean(&costs[j])));
+            }
+        }
+        // Respect the survivor floor: spare the best of the condemned.
+        let max_kills = alive_count.saturating_sub(settings.min_survivors);
+        if to_kill.len() > max_kills {
+            to_kill
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            to_kill.truncate(max_kills);
+        }
+        for (j, _) in to_kill {
+            alive[j] = false;
+            alive_count -= 1;
+            log.push(RaceLogEntry {
+                config: j,
+                after_blocks: blocks_used,
+            });
+        }
+        if alive_count <= settings.min_survivors {
+            // Keep racing only to refine the ranking if instances remain;
+            // irace stops the race here, and so do we.
+            break;
+        }
+    }
+
+    let mut survivors: Vec<usize> = (0..k).filter(|&i| alive[i]).collect();
+    survivors.sort_by(|&a, &b| {
+        mean(&costs[a])
+            .partial_cmp(&mean(&costs[b]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let survivor_costs = survivors.iter().map(|&i| mean(&costs[i])).collect();
+    RaceResult {
+        survivors,
+        survivor_costs,
+        blocks_used,
+        evals_used,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SyntheticCost;
+
+    impl CostFn for SyntheticCost {
+        fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+            // True optimum at x = 0; instances add config-independent noise
+            // plus a small interaction so rankings are mostly stable.
+            let x = cfg.integer(space, "x") as f64;
+            x * x + (instance as f64 % 7.0) + 0.01 * x * (instance as f64 % 3.0)
+        }
+    }
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add_integer("x", &[0, 1, 2, 4, 8, 16]);
+        s
+    }
+
+    fn configs(space: &ParamSpace) -> Vec<Configuration> {
+        [0i64, 1, 2, 4, 8, 16]
+            .iter()
+            .map(|&v| {
+                let mut c = space.default_configuration();
+                c.set_integer(space, "x", v);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn race_eliminates_bad_configs_and_keeps_the_best() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let cache = CostCache::new();
+        let mut budget = 10_000u64;
+        let r = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &RaceSettings::default(),
+            &mut budget,
+            1,
+        );
+        assert_eq!(r.survivors[0], 0, "x=0 wins");
+        assert!(!r.log.is_empty(), "bad configs were eliminated");
+        assert!(r.evals_used < 6 * 20, "elimination saves evaluations");
+        assert!(budget < 10_000);
+    }
+
+    #[test]
+    fn elimination_respects_the_survivor_floor() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let cache = CostCache::new();
+        let mut budget = 10_000u64;
+        let settings = RaceSettings {
+            min_survivors: 4,
+            ..RaceSettings::default()
+        };
+        let r = race(
+            &s, &cfgs, &order, &SyntheticCost, &cache, &settings, &mut budget, 1,
+        );
+        assert!(r.survivors.len() >= 4);
+    }
+
+    #[test]
+    fn tight_budget_stops_the_race_early() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let cache = CostCache::new();
+        let mut budget = 13u64; // two full blocks of 6, then starve
+        let r = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &RaceSettings::default(),
+            &mut budget,
+            1,
+        );
+        assert_eq!(r.blocks_used, 2);
+        assert_eq!(r.evals_used, 12);
+    }
+
+    #[test]
+    fn identical_configs_are_never_eliminated() {
+        let s = space();
+        let c = s.default_configuration();
+        let cfgs = vec![c.clone(), c.clone(), c];
+        let order: Vec<usize> = (0..10).collect();
+        let cache = CostCache::new();
+        let mut budget = 1000u64;
+        let r = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &RaceSettings::default(),
+            &mut budget,
+            1,
+        );
+        assert_eq!(r.survivors.len(), 3, "ties must survive");
+        // Identical configs share cache entries: only one eval per block.
+        assert_eq!(r.evals_used, 10);
+    }
+
+    #[test]
+    fn paired_t_variant_also_finds_the_optimum() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let cache = CostCache::new();
+        let mut budget = 10_000u64;
+        let settings = RaceSettings {
+            test: EliminationTest::PairedT,
+            ..RaceSettings::default()
+        };
+        let r = race(
+            &s, &cfgs, &order, &SyntheticCost, &cache, &settings, &mut budget, 1,
+        );
+        assert_eq!(r.survivors[0], 0);
+    }
+
+    #[test]
+    fn parallel_racing_matches_serial() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let mut b1 = 10_000u64;
+        let mut b2 = 10_000u64;
+        let r1 = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &CostCache::new(),
+            &RaceSettings::default(),
+            &mut b1,
+            1,
+        );
+        let r2 = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &CostCache::new(),
+            &RaceSettings::default(),
+            &mut b2,
+            4,
+        );
+        assert_eq!(r1.survivors, r2.survivors);
+        assert_eq!(r1.evals_used, r2.evals_used);
+    }
+}

@@ -1,0 +1,380 @@
+//! The iterated-racing loop.
+
+use crate::cache::CostCache;
+use crate::model::SamplingModel;
+use crate::param::{Configuration, ParamSpace};
+use crate::race::{race, RaceLogEntry, RaceSettings};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A cost function the tuner minimises.
+///
+/// In the paper's setting, the cost of a configuration on an instance is
+/// the simulator's CPI-prediction error against the hardware measurement
+/// for one micro-benchmark.
+pub trait CostFn: Sync {
+    /// The cost of `cfg` on benchmark `instance` (lower is better).
+    fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64;
+}
+
+impl<F> CostFn for F
+where
+    F: Fn(&Configuration, &ParamSpace, usize) -> f64 + Sync,
+{
+    fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+        self(cfg, space, instance)
+    }
+}
+
+/// Settings of the iterated-racing tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerSettings {
+    /// Maximum fresh cost evaluations ("the algorithm stops after a
+    /// configurable maximum number of trials"; the paper budgets 10 K to
+    /// 100 K).
+    pub budget: u64,
+    /// Race settings (significance level, first test, survivor floor).
+    pub race: RaceSettings,
+    /// Elites kept between iterations.
+    pub n_elites: usize,
+    /// Worker threads for parallel evaluation.
+    pub threads: usize,
+    /// RNG seed — runs are fully deterministic given the seed.
+    pub seed: u64,
+    /// Optional wall-clock limit: the tuner starts no new iteration after
+    /// this many seconds ("the user can define criteria to terminate the
+    /// tuning process, e.g. … a maximum finite time").
+    pub max_seconds: Option<u64>,
+}
+
+impl Default for TunerSettings {
+    fn default() -> TunerSettings {
+        TunerSettings {
+            budget: 2_000,
+            race: RaceSettings::default(),
+            n_elites: 4,
+            threads: 1,
+            seed: 0xBADC_AB1E,
+            max_seconds: None,
+        }
+    }
+}
+
+/// Summary of one tuner iteration, for reporting and Figure-2-style
+/// plots.
+#[derive(Debug, Clone)]
+pub struct IterationSummary {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Configurations raced.
+    pub configs_raced: usize,
+    /// Instances (blocks) the race consumed.
+    pub blocks_used: usize,
+    /// Fresh evaluations consumed.
+    pub evals_used: u64,
+    /// Best mean cost seen at the end of the iteration.
+    pub best_cost: f64,
+    /// Elimination log of the race.
+    pub eliminations: Vec<RaceLogEntry>,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The best configuration found.
+    pub best: Configuration,
+    /// Its mean cost over the instances it was raced on.
+    pub best_cost: f64,
+    /// The final elite set, best first.
+    pub elites: Vec<(Configuration, f64)>,
+    /// Fresh evaluations actually used.
+    pub evals_used: u64,
+    /// Per-iteration summaries.
+    pub history: Vec<IterationSummary>,
+}
+
+/// Anything that can search a parameter space against a cost function —
+/// implemented by [`RacingTuner`] and the baselines.
+pub trait Tuner {
+    /// Minimises `cost` over `space`, evaluating on `n_instances`
+    /// benchmark instances.
+    fn tune(&self, space: &ParamSpace, cost: &dyn CostFn, n_instances: usize) -> TuneResult;
+}
+
+/// The iterated-racing tuner (irace reimplementation).
+#[derive(Debug, Clone)]
+pub struct RacingTuner {
+    settings: TunerSettings,
+}
+
+impl RacingTuner {
+    /// Creates a tuner with the given settings.
+    pub fn new(settings: TunerSettings) -> RacingTuner {
+        RacingTuner { settings }
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &TunerSettings {
+        &self.settings
+    }
+}
+
+impl Tuner for RacingTuner {
+    fn tune(&self, space: &ParamSpace, cost: &dyn CostFn, n_instances: usize) -> TuneResult {
+        assert!(n_instances > 0, "need at least one instance");
+        assert!(!space.is_empty(), "need at least one parameter");
+        let st = &self.settings;
+        let mut rng = StdRng::seed_from_u64(st.seed);
+        let mut model = SamplingModel::new(space);
+        let cache = CostCache::new();
+
+        // irace: N_iter = 2 + floor(log2(#params)).
+        let n_iters = 2 + (space.len() as f64).log2().floor() as usize;
+        let mut budget = st.budget;
+        let mut elites: Vec<(Configuration, f64)> = Vec::new();
+        let mut history = Vec::new();
+        let mut evals_total = 0u64;
+        let started = std::time::Instant::now();
+
+        for iter in 0..n_iters {
+            if budget < (st.race.first_test * (st.race.min_survivors + 1)) as u64 {
+                break;
+            }
+            if let Some(limit) = st.max_seconds {
+                if started.elapsed().as_secs() >= limit {
+                    break;
+                }
+            }
+            // Budget share for this iteration.
+            let iter_budget = budget / (n_iters - iter) as u64;
+            // Number of configurations: enough that the race can afford
+            // first_test blocks for everyone plus elimination headroom.
+            let denom = (st.race.first_test + 2 + iter).max(1) as u64;
+            let n_new = (iter_budget / denom.max(1) / (n_instances as u64 / 4).max(1))
+                .clamp(st.race.min_survivors as u64 + 2, 64) as usize;
+
+            // Assemble the iteration's configurations: elites first.
+            let mut configs: Vec<Configuration> =
+                elites.iter().map(|(c, _)| c.clone()).collect();
+            let want = n_new + elites.len();
+            // A concentrated model may keep producing duplicates; cap the
+            // attempts so a converged search cannot spin forever.
+            let mut attempts = 0usize;
+            while configs.len() < want && attempts < want * 50 {
+                attempts += 1;
+                let c = if elites.is_empty() {
+                    model.sample(space, &mut rng)
+                } else {
+                    // Pick a parent, weighted toward better elites.
+                    let w = rng.gen_range(0.0..1.0f64);
+                    let parent_idx =
+                        ((w * w) * elites.len() as f64).floor() as usize % elites.len();
+                    model.sample_around(space, &elites[parent_idx].0, &mut rng)
+                };
+                if !configs.contains(&c) {
+                    configs.push(c);
+                }
+            }
+            if configs.len() < 2 {
+                break; // fully converged
+            }
+            // irace's "soft restart": if sampling has collapsed (mostly
+            // duplicates), re-widen the model so later iterations can
+            // still explore.
+            if configs.len() < want / 2 {
+                model.spread = (model.spread * 3.0).min(1.0);
+            }
+
+            // Race over a freshly shuffled instance order.
+            let mut order: Vec<usize> = (0..n_instances).collect();
+            order.shuffle(&mut rng);
+            let mut race_budget = iter_budget.min(budget);
+            let before = race_budget;
+            let result = race(
+                space,
+                &configs,
+                &order,
+                cost,
+                &cache,
+                &st.race,
+                &mut race_budget,
+                st.threads,
+            );
+            let used = before - race_budget;
+            budget = budget.saturating_sub(used);
+            evals_total += result.evals_used;
+
+            // New elite set.
+            elites = result
+                .survivors
+                .iter()
+                .zip(&result.survivor_costs)
+                .take(st.n_elites)
+                .map(|(&i, &c)| (configs[i].clone(), c))
+                .collect();
+            let elite_refs: Vec<&Configuration> = elites.iter().map(|(c, _)| c).collect();
+            model.update(space, &elite_refs, 0.5);
+
+            history.push(IterationSummary {
+                iteration: iter,
+                configs_raced: configs.len(),
+                blocks_used: result.blocks_used,
+                evals_used: result.evals_used,
+                best_cost: elites.first().map(|(_, c)| *c).unwrap_or(f64::NAN),
+                eliminations: result.log,
+            });
+        }
+
+        let (best, best_cost) = elites
+            .first()
+            .cloned()
+            .unwrap_or_else(|| (space.default_configuration(), f64::NAN));
+        TuneResult {
+            best,
+            best_cost,
+            elites,
+            evals_used: evals_total,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add_integer("x", &[-8, -4, -2, -1, 0, 1, 2, 4, 8]);
+        s.add_integer("y", &[-8, -4, -2, -1, 0, 1, 2, 4, 8]);
+        s.add_categorical("mode", &["good", "bad", "awful"]);
+        s.add_bool("boost");
+        s
+    }
+
+    struct Bowl;
+
+    impl CostFn for Bowl {
+        fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+            let x = cfg.integer(space, "x") as f64;
+            let y = cfg.integer(space, "y") as f64;
+            let mode = match cfg.categorical(space, "mode") {
+                "good" => 0.0,
+                "bad" => 5.0,
+                _ => 20.0,
+            };
+            let boost = if cfg.flag(space, "boost") { -1.0 } else { 0.0 };
+            // Instance-dependent but ranking-preserving noise.
+            let noise = ((instance * 7919) % 13) as f64 * 0.05;
+            x * x + y * y + mode + boost + noise
+        }
+    }
+
+    #[test]
+    fn finds_the_global_optimum_on_a_separable_problem() {
+        let tuner = RacingTuner::new(TunerSettings {
+            budget: 4_000,
+            seed: 7,
+            ..TunerSettings::default()
+        });
+        let s = space();
+        let r = tuner.tune(&s, &Bowl, 12);
+        assert_eq!(r.best.integer(&s, "x"), 0, "{}", r.best.render(&s));
+        assert_eq!(r.best.integer(&s, "y"), 0);
+        assert_eq!(r.best.categorical(&s, "mode"), "good");
+        assert!(r.best.flag(&s, "boost"));
+        assert!(r.evals_used <= 4_000);
+        assert!(!r.history.is_empty());
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let tuner = RacingTuner::new(TunerSettings {
+            budget: 300,
+            seed: 3,
+            ..TunerSettings::default()
+        });
+        let s = space();
+        let r = tuner.tune(&s, &Bowl, 12);
+        assert!(r.evals_used <= 300, "{} evals", r.evals_used);
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let s = space();
+        let mk = || {
+            RacingTuner::new(TunerSettings {
+                budget: 1_000,
+                seed: 99,
+                ..TunerSettings::default()
+            })
+            .tune(&s, &Bowl, 12)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evals_used, b.evals_used);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently_but_both_converge() {
+        let s = space();
+        let run = |seed| {
+            RacingTuner::new(TunerSettings {
+                budget: 4_000,
+                seed,
+                ..TunerSettings::default()
+            })
+            .tune(&s, &Bowl, 12)
+            .best_cost
+        };
+        let a = run(1);
+        let b = run(2);
+        assert!(a < 2.0, "seed 1 converges: {a}");
+        assert!(b < 2.0, "seed 2 converges: {b}");
+    }
+
+    #[test]
+    fn single_instance_problems_are_supported() {
+        // With one instance no statistical test can run (first_test = 5),
+        // so the race degenerates to best-mean selection — still valid.
+        let s = space();
+        let r = RacingTuner::new(TunerSettings {
+            budget: 500,
+            seed: 21,
+            ..TunerSettings::default()
+        })
+        .tune(&s, &Bowl, 1);
+        assert!(r.best_cost.is_finite());
+        assert!(r.evals_used <= 500);
+    }
+
+    #[test]
+    fn wall_clock_limit_short_circuits() {
+        let s = space();
+        let r = RacingTuner::new(TunerSettings {
+            budget: 100_000,
+            seed: 5,
+            max_seconds: Some(0),
+            ..TunerSettings::default()
+        })
+        .tune(&s, &Bowl, 12);
+        assert!(r.history.is_empty(), "no iteration may start at 0s");
+        assert_eq!(r.evals_used, 0);
+    }
+
+    #[test]
+    fn history_shows_progress() {
+        let s = space();
+        let r = RacingTuner::new(TunerSettings {
+            budget: 3_000,
+            seed: 11,
+            ..TunerSettings::default()
+        })
+        .tune(&s, &Bowl, 12);
+        let first = r.history.first().unwrap().best_cost;
+        let last = r.history.last().unwrap().best_cost;
+        assert!(last <= first, "cost must not regress: {first} -> {last}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Parallel batch simulation.
+//!
+//! The tuning process "launches several simulation experiments in
+//! parallel" (paper, Section III-C; the authors used a 24-context host).
+//! This module provides the equivalent: a work-stealing batch runner over
+//! (simulator, trace) jobs.
+
+use crate::simulator::{SimError, SimStats, Simulator};
+use racesim_trace::TraceBuffer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Runs every `(simulator, trace)` job, using up to `threads` worker
+/// threads, and returns the results in job order.
+///
+/// Traces are shared via `Arc` so a 40-benchmark suite is decoded and held
+/// in memory once regardless of how many configurations race over it.
+pub fn run_batch(
+    jobs: &[(Simulator, Arc<TraceBuffer>)],
+    threads: usize,
+) -> Vec<Result<SimStats, SimError>> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(|(sim, t)| sim.run(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<SimStats, SimError>>> = vec![None; jobs.len()];
+    let slots: Vec<_> = results
+        .iter_mut()
+        .map(|r| std::sync::Mutex::new(r))
+        .collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (sim, trace) = &jobs[i];
+                let out = sim.run(trace);
+                **slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use racesim_isa::{asm::Asm, Reg};
+    use racesim_trace::TraceRecord;
+
+    fn trace() -> Arc<TraceBuffer> {
+        let mut a = Asm::new();
+        a.addi(Reg::x(1), Reg::x(1), 1);
+        let p = a.finish();
+        Arc::new(
+            (0..200)
+                .map(|_| TraceRecord::plain(p.code_base, p.code[0]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let t = trace();
+        let jobs: Vec<_> = (0..8)
+            .map(|_| (Simulator::new(Platform::a53_like()), Arc::clone(&t)))
+            .collect();
+        let serial = run_batch(&jobs, 1);
+        let parallel = run_batch(&jobs, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                a.as_ref().unwrap().core.cycles,
+                b.as_ref().unwrap().core.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,521 @@
+//! Sniper-style plain-text platform configuration files.
+//!
+//! Sniper exposes its "couple hundred configuration parameters" through
+//! INI-like config files; this module provides the same interface for
+//! racesim platforms: [`to_text`] renders a [`Platform`] as
+//! `[section] key = value` text, and [`from_text`] parses it back. The
+//! round-trip is exact, so tuned models can be saved, diffed and shared.
+//!
+//! ```
+//! use racesim_sim::{config_text, Platform};
+//!
+//! let p = Platform::a53_like();
+//! let text = config_text::to_text(&p);
+//! assert_eq!(config_text::from_text(&text)?, p);
+//! # Ok::<(), racesim_sim::config_text::ConfigError>(())
+//! ```
+
+use crate::platform::Platform;
+use racesim_mem::{
+    CacheConfig, IndexHash, PrefetchWhere, PrefetcherConfig, Replacement, TagAccess, TlbConfig,
+};
+use racesim_uarch::branch::{BranchConfig, DirPredictorConfig, IndirectPredictorConfig};
+use racesim_uarch::CoreKind;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from parsing a platform config file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line was not `key = value` or `[section]`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A required key was absent.
+    MissingKey(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadLine { line } => write!(f, "malformed config line {line}"),
+            ConfigError::MissingKey(k) => write!(f, "missing key {k}"),
+            ConfigError::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Renders a platform as config-file text.
+pub fn to_text(p: &Platform) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# racesim platform configuration");
+    let _ = writeln!(out, "[platform]");
+    let _ = writeln!(out, "name = {}", p.name);
+    let _ = writeln!(
+        out,
+        "core_kind = {}",
+        match p.core.kind {
+            CoreKind::InOrder => "in_order",
+            CoreKind::OutOfOrder => "out_of_order",
+        }
+    );
+    let _ = writeln!(out, "frequency_ghz = {}", p.core.frequency_ghz);
+
+    let _ = writeln!(out, "\n[frontend]");
+    let _ = writeln!(out, "fetch_width = {}", p.core.frontend.fetch_width);
+    let _ = writeln!(out, "depth = {}", p.core.frontend.depth);
+
+    let b = &p.core.branch;
+    let _ = writeln!(out, "\n[branch]");
+    let (kind, tb, hb) = match b.direction {
+        DirPredictorConfig::StaticTaken => ("static_taken", 0, 0),
+        DirPredictorConfig::StaticNotTaken => ("static_not_taken", 0, 0),
+        DirPredictorConfig::Bimodal { table_bits } => ("bimodal", table_bits, 0),
+        DirPredictorConfig::Gshare {
+            table_bits,
+            history_bits,
+        } => ("gshare", table_bits, history_bits),
+        DirPredictorConfig::Tournament {
+            table_bits,
+            history_bits,
+        } => ("tournament", table_bits, history_bits),
+    };
+    let _ = writeln!(out, "predictor = {kind}");
+    let _ = writeln!(out, "table_bits = {tb}");
+    let _ = writeln!(out, "history_bits = {hb}");
+    let (ikind, itb, ihb) = match b.indirect {
+        IndirectPredictorConfig::BtbOnly => ("btb_only", 0, 0),
+        IndirectPredictorConfig::PathHistory {
+            table_bits,
+            history_bits,
+        } => ("path_history", table_bits, history_bits),
+    };
+    let _ = writeln!(out, "indirect = {ikind}");
+    let _ = writeln!(out, "indirect_table_bits = {itb}");
+    let _ = writeln!(out, "indirect_history_bits = {ihb}");
+    let _ = writeln!(out, "btb_entries = {}", b.btb_entries);
+    let _ = writeln!(out, "btb_ways = {}", b.btb_ways);
+    let _ = writeln!(out, "ras_entries = {}", b.ras_entries);
+    let _ = writeln!(out, "mispredict_penalty = {}", b.mispredict_penalty);
+    let _ = writeln!(out, "btb_miss_penalty = {}", b.btb_miss_penalty);
+
+    let l = &p.core.lat;
+    let _ = writeln!(out, "\n[latency]");
+    for (k, v) in [
+        ("int_alu", l.int_alu),
+        ("int_mul", l.int_mul),
+        ("int_div", l.int_div),
+        ("fp_add", l.fp_add),
+        ("fp_mul", l.fp_mul),
+        ("fp_div", l.fp_div),
+        ("fp_sqrt", l.fp_sqrt),
+        ("fp_cvt", l.fp_cvt),
+        ("fp_mov", l.fp_mov),
+        ("simd_alu", l.simd_alu),
+        ("simd_mul", l.simd_mul),
+        ("simd_fp_add", l.simd_fp_add),
+        ("simd_fp_mul", l.simd_fp_mul),
+        ("simd_fma", l.simd_fma),
+    ] {
+        let _ = writeln!(out, "{k} = {v}");
+    }
+
+    let io = &p.core.inorder;
+    let _ = writeln!(out, "\n[inorder]");
+    let _ = writeln!(out, "issue_width = {}", io.issue_width);
+    let _ = writeln!(out, "int_alu_units = {}", io.int_alu_units);
+    let _ = writeln!(out, "fp_units = {}", io.fp_units);
+    let _ = writeln!(out, "div_blocking = {}", io.div_blocking);
+    let _ = writeln!(out, "store_buffer = {}", io.store_buffer);
+    let _ = writeln!(out, "mem_per_cycle = {}", io.mem_per_cycle);
+
+    let o = &p.core.ooo;
+    let _ = writeln!(out, "\n[ooo]");
+    let _ = writeln!(out, "dispatch_width = {}", o.dispatch_width);
+    let _ = writeln!(out, "rob_entries = {}", o.rob_entries);
+    let _ = writeln!(out, "iq_entries = {}", o.iq_entries);
+    let _ = writeln!(out, "lq_entries = {}", o.lq_entries);
+    let _ = writeln!(out, "sq_entries = {}", o.sq_entries);
+    let _ = writeln!(out, "retire_width = {}", o.retire_width);
+    let _ = writeln!(out, "int_alu_ports = {}", o.ports.int_alu);
+    let _ = writeln!(out, "int_mul_ports = {}", o.ports.int_mul);
+    let _ = writeln!(out, "fp_ports = {}", o.ports.fp);
+    let _ = writeln!(out, "load_ports = {}", o.ports.load);
+    let _ = writeln!(out, "store_ports = {}", o.ports.store);
+    let _ = writeln!(out, "branch_ports = {}", o.ports.branch);
+    let _ = writeln!(out, "stlf_latency = {}", o.stlf_latency);
+    let _ = writeln!(out, "div_blocking = {}", o.div_blocking);
+
+    for (name, c) in [("l1i", &p.mem.l1i), ("l1d", &p.mem.l1d), ("l2", &p.mem.l2)] {
+        let _ = writeln!(out, "\n[{name}]");
+        let _ = writeln!(out, "size_kb = {}", c.size_kb);
+        let _ = writeln!(out, "assoc = {}", c.assoc);
+        let _ = writeln!(out, "line_bytes = {}", c.line_bytes);
+        let _ = writeln!(out, "latency = {}", c.latency);
+        let _ = writeln!(out, "replacement = {}", c.replacement);
+        let _ = writeln!(out, "hash = {}", c.hash);
+        let _ = writeln!(out, "tag_access = {}", c.tag_access);
+        let _ = writeln!(out, "ports = {}", c.ports);
+        let _ = writeln!(out, "mshrs = {}", c.mshrs);
+        let _ = writeln!(out, "victim_entries = {}", c.victim_entries);
+        let _ = writeln!(out, "write_allocate = {}", c.write_allocate);
+    }
+
+    let _ = writeln!(out, "\n[dram]");
+    let _ = writeln!(out, "latency = {}", p.mem.dram.latency);
+    let _ = writeln!(out, "bytes_per_cycle = {}", p.mem.dram.bytes_per_cycle);
+
+    let _ = writeln!(out, "\n[tlb]");
+    match &p.mem.tlb {
+        None => {
+            let _ = writeln!(out, "modelled = false");
+        }
+        Some(t) => {
+            let _ = writeln!(out, "modelled = true");
+            let _ = writeln!(out, "entries = {}", t.entries);
+            let _ = writeln!(out, "page_bytes = {}", t.page_bytes);
+            let _ = writeln!(out, "miss_penalty = {}", t.miss_penalty);
+        }
+    }
+
+    let _ = writeln!(out, "\n[prefetch]");
+    match p.mem.prefetcher {
+        PrefetcherConfig::None => {
+            let _ = writeln!(out, "kind = none");
+        }
+        PrefetcherConfig::NextLine => {
+            let _ = writeln!(out, "kind = next_line");
+        }
+        PrefetcherConfig::Stride {
+            table_entries,
+            degree,
+        } => {
+            let _ = writeln!(out, "kind = stride");
+            let _ = writeln!(out, "table_entries = {table_entries}");
+            let _ = writeln!(out, "degree = {degree}");
+        }
+        PrefetcherConfig::Ghb {
+            buffer_entries,
+            index_entries,
+            degree,
+        } => {
+            let _ = writeln!(out, "kind = ghb");
+            let _ = writeln!(out, "buffer_entries = {buffer_entries}");
+            let _ = writeln!(out, "table_entries = {index_entries}");
+            let _ = writeln!(out, "degree = {degree}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "where = {}",
+        match p.mem.prefetch_where {
+            PrefetchWhere::L1 => "l1",
+            PrefetchWhere::L2 => "l2",
+        }
+    );
+    let _ = writeln!(out, "on_prefetch_hit = {}", p.mem.prefetch_on_prefetch_hit);
+    out
+}
+
+/// Flat `section.key -> value` view of a config file.
+struct Parsed {
+    map: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    fn get(&self, key: &str) -> Result<&str, ConfigError> {
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ConfigError::MissingKey(key.to_string()))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ConfigError> {
+        let raw = self.get(key)?;
+        raw.parse().map_err(|_| ConfigError::BadValue {
+            key: key.to_string(),
+            value: raw.to_string(),
+        })
+    }
+}
+
+fn parse_sections(text: &str) -> Result<Parsed, ConfigError> {
+    let mut map = BTreeMap::new();
+    let mut section = String::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(ConfigError::BadLine { line: no + 1 });
+        };
+        map.insert(
+            format!("{section}.{}", k.trim()),
+            v.trim().to_string(),
+        );
+    }
+    Ok(Parsed { map })
+}
+
+fn cache_from(parsed: &Parsed, name: &str) -> Result<CacheConfig, ConfigError> {
+    let key = |k: &str| format!("{name}.{k}");
+    let bad = |k: &str, v: &str| ConfigError::BadValue {
+        key: key(k),
+        value: v.to_string(),
+    };
+    let replacement = match parsed.get(&key("replacement"))? {
+        "lru" => Replacement::Lru,
+        "plru" => Replacement::PseudoLru,
+        "random" => Replacement::Random,
+        "fifo" => Replacement::Fifo,
+        v => return Err(bad("replacement", v)),
+    };
+    let hash = match parsed.get(&key("hash"))? {
+        "mask" => IndexHash::Mask,
+        "xor" => IndexHash::Xor,
+        "mersenne" => IndexHash::MersenneMod,
+        v => return Err(bad("hash", v)),
+    };
+    let tag_access = match parsed.get(&key("tag_access"))? {
+        "parallel" => TagAccess::Parallel,
+        "serial" => TagAccess::Serial,
+        v => return Err(bad("tag_access", v)),
+    };
+    Ok(CacheConfig {
+        size_kb: parsed.num(&key("size_kb"))?,
+        assoc: parsed.num(&key("assoc"))?,
+        line_bytes: parsed.num(&key("line_bytes"))?,
+        latency: parsed.num(&key("latency"))?,
+        replacement,
+        hash,
+        tag_access,
+        ports: parsed.num(&key("ports"))?,
+        mshrs: parsed.num(&key("mshrs"))?,
+        victim_entries: parsed.num(&key("victim_entries"))?,
+        write_allocate: parsed.num(&key("write_allocate"))?,
+    })
+}
+
+/// Parses a platform from config-file text.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on malformed lines, missing keys or
+/// unparseable values.
+pub fn from_text(text: &str) -> Result<Platform, ConfigError> {
+    let parsed = parse_sections(text)?;
+    let bad = |key: &str, v: &str| ConfigError::BadValue {
+        key: key.to_string(),
+        value: v.to_string(),
+    };
+
+    let mut p = match parsed.get("platform.core_kind")? {
+        "in_order" => Platform::a53_like(),
+        "out_of_order" => Platform::a72_like(),
+        v => return Err(bad("platform.core_kind", v)),
+    };
+    p.name = parsed.get("platform.name")?.to_string();
+    p.core.frequency_ghz = parsed.num("platform.frequency_ghz")?;
+
+    p.core.frontend.fetch_width = parsed.num("frontend.fetch_width")?;
+    p.core.frontend.depth = parsed.num("frontend.depth")?;
+
+    let tb: u8 = parsed.num("branch.table_bits")?;
+    let hb: u8 = parsed.num("branch.history_bits")?;
+    let direction = match parsed.get("branch.predictor")? {
+        "static_taken" => DirPredictorConfig::StaticTaken,
+        "static_not_taken" => DirPredictorConfig::StaticNotTaken,
+        "bimodal" => DirPredictorConfig::Bimodal { table_bits: tb },
+        "gshare" => DirPredictorConfig::Gshare {
+            table_bits: tb,
+            history_bits: hb,
+        },
+        "tournament" => DirPredictorConfig::Tournament {
+            table_bits: tb,
+            history_bits: hb,
+        },
+        v => return Err(bad("branch.predictor", v)),
+    };
+    let indirect = match parsed.get("branch.indirect")? {
+        "btb_only" => IndirectPredictorConfig::BtbOnly,
+        "path_history" => IndirectPredictorConfig::PathHistory {
+            table_bits: parsed.num("branch.indirect_table_bits")?,
+            history_bits: parsed.num("branch.indirect_history_bits")?,
+        },
+        v => return Err(bad("branch.indirect", v)),
+    };
+    p.core.branch = BranchConfig {
+        direction,
+        btb_entries: parsed.num("branch.btb_entries")?,
+        btb_ways: parsed.num("branch.btb_ways")?,
+        indirect,
+        ras_entries: parsed.num("branch.ras_entries")?,
+        mispredict_penalty: parsed.num("branch.mispredict_penalty")?,
+        btb_miss_penalty: parsed.num("branch.btb_miss_penalty")?,
+    };
+
+    let l = &mut p.core.lat;
+    l.int_alu = parsed.num("latency.int_alu")?;
+    l.int_mul = parsed.num("latency.int_mul")?;
+    l.int_div = parsed.num("latency.int_div")?;
+    l.fp_add = parsed.num("latency.fp_add")?;
+    l.fp_mul = parsed.num("latency.fp_mul")?;
+    l.fp_div = parsed.num("latency.fp_div")?;
+    l.fp_sqrt = parsed.num("latency.fp_sqrt")?;
+    l.fp_cvt = parsed.num("latency.fp_cvt")?;
+    l.fp_mov = parsed.num("latency.fp_mov")?;
+    l.simd_alu = parsed.num("latency.simd_alu")?;
+    l.simd_mul = parsed.num("latency.simd_mul")?;
+    l.simd_fp_add = parsed.num("latency.simd_fp_add")?;
+    l.simd_fp_mul = parsed.num("latency.simd_fp_mul")?;
+    l.simd_fma = parsed.num("latency.simd_fma")?;
+
+    let io = &mut p.core.inorder;
+    io.issue_width = parsed.num("inorder.issue_width")?;
+    io.int_alu_units = parsed.num("inorder.int_alu_units")?;
+    io.fp_units = parsed.num("inorder.fp_units")?;
+    io.div_blocking = parsed.num("inorder.div_blocking")?;
+    io.store_buffer = parsed.num("inorder.store_buffer")?;
+    io.mem_per_cycle = parsed.num("inorder.mem_per_cycle")?;
+
+    let o = &mut p.core.ooo;
+    o.dispatch_width = parsed.num("ooo.dispatch_width")?;
+    o.rob_entries = parsed.num("ooo.rob_entries")?;
+    o.iq_entries = parsed.num("ooo.iq_entries")?;
+    o.lq_entries = parsed.num("ooo.lq_entries")?;
+    o.sq_entries = parsed.num("ooo.sq_entries")?;
+    o.retire_width = parsed.num("ooo.retire_width")?;
+    o.ports.int_alu = parsed.num("ooo.int_alu_ports")?;
+    o.ports.int_mul = parsed.num("ooo.int_mul_ports")?;
+    o.ports.fp = parsed.num("ooo.fp_ports")?;
+    o.ports.load = parsed.num("ooo.load_ports")?;
+    o.ports.store = parsed.num("ooo.store_ports")?;
+    o.ports.branch = parsed.num("ooo.branch_ports")?;
+    o.stlf_latency = parsed.num("ooo.stlf_latency")?;
+    o.div_blocking = parsed.num("ooo.div_blocking")?;
+
+    p.mem.l1i = cache_from(&parsed, "l1i")?;
+    p.mem.l1d = cache_from(&parsed, "l1d")?;
+    p.mem.l2 = cache_from(&parsed, "l2")?;
+    p.mem.dram.latency = parsed.num("dram.latency")?;
+    p.mem.dram.bytes_per_cycle = parsed.num("dram.bytes_per_cycle")?;
+
+    p.mem.tlb = if parsed.num::<bool>("tlb.modelled")? {
+        Some(TlbConfig {
+            entries: parsed.num("tlb.entries")?,
+            page_bytes: parsed.num("tlb.page_bytes")?,
+            miss_penalty: parsed.num("tlb.miss_penalty")?,
+        })
+    } else {
+        None
+    };
+
+    p.mem.prefetcher = match parsed.get("prefetch.kind")? {
+        "none" => PrefetcherConfig::None,
+        "next_line" => PrefetcherConfig::NextLine,
+        "stride" => PrefetcherConfig::Stride {
+            table_entries: parsed.num("prefetch.table_entries")?,
+            degree: parsed.num("prefetch.degree")?,
+        },
+        "ghb" => PrefetcherConfig::Ghb {
+            buffer_entries: parsed.num("prefetch.buffer_entries")?,
+            index_entries: parsed.num("prefetch.table_entries")?,
+            degree: parsed.num("prefetch.degree")?,
+        },
+        v => return Err(bad("prefetch.kind", v)),
+    };
+    p.mem.prefetch_where = match parsed.get("prefetch.where")? {
+        "l1" => PrefetchWhere::L1,
+        "l2" => PrefetchWhere::L2,
+        v => return Err(bad("prefetch.where", v)),
+    };
+    p.mem.prefetch_on_prefetch_hit = parsed.num("prefetch.on_prefetch_hit")?;
+
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_roundtrip_exactly() {
+        for p in [Platform::a53_like(), Platform::a72_like()] {
+            let text = to_text(&p);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn modified_platforms_roundtrip() {
+        let mut p = Platform::a72_like();
+        p.name = "my tuned model".into();
+        p.core.branch.direction = DirPredictorConfig::Tournament {
+            table_bits: 13,
+            history_bits: 9,
+        };
+        p.core.branch.indirect = IndirectPredictorConfig::PathHistory {
+            table_bits: 9,
+            history_bits: 7,
+        };
+        p.mem.prefetcher = PrefetcherConfig::Ghb {
+            buffer_entries: 128,
+            index_entries: 64,
+            degree: 3,
+        };
+        p.mem.tlb = Some(TlbConfig {
+            entries: 32,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        });
+        p.mem.l2.hash = IndexHash::MersenneMod;
+        p.mem.l2.replacement = Replacement::PseudoLru;
+        let back = from_text(&to_text(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_positions() {
+        assert_eq!(
+            from_text("not a config"),
+            Err(ConfigError::BadLine { line: 1 })
+        );
+        let text = to_text(&Platform::a53_like());
+        let broken = text.replace("predictor = bimodal", "predictor = oracle");
+        assert!(matches!(
+            from_text(&broken),
+            Err(ConfigError::BadValue { .. })
+        ));
+        let missing = text.replace("mispredict_penalty = ", "mispredict_penaltX = ");
+        assert!(matches!(
+            from_text(&missing),
+            Err(ConfigError::MissingKey(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut text = String::from("# leading comment\n\n");
+        text.push_str(&to_text(&Platform::a53_like()));
+        assert!(from_text(&text).is_ok());
+    }
+}

@@ -1,0 +1,42 @@
+//! # racesim-sim
+//!
+//! The trace-driven simulator driver — the equivalent of Sniper-ARM's
+//! back-end glue (Figure 3 of the paper): it reads SIFT-style traces,
+//! decodes instruction words through the decoder library (with a per-word
+//! decode cache, as Sniper caches decoded instructions), feeds the dynamic
+//! stream into a core timing model, and collects the statistics the
+//! validation methodology compares against hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use racesim_sim::{Platform, Simulator};
+//! use racesim_isa::{asm::Asm, Reg};
+//! use racesim_trace::{TraceBuffer, TraceRecord};
+//!
+//! // A tiny trace: 100 independent adds.
+//! let mut a = Asm::new();
+//! a.addi(Reg::x(1), Reg::x(2), 1);
+//! let p = a.finish();
+//! let trace: TraceBuffer = (0..100)
+//!     .map(|_| TraceRecord::plain(p.code_base, p.code[0]))
+//!     .collect();
+//!
+//! let sim = Simulator::new(Platform::a53_like());
+//! let stats = sim.run(&trace)?;
+//! assert_eq!(stats.core.instructions, 100);
+//! assert!(stats.cpi() > 0.0);
+//! # Ok::<(), racesim_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+pub mod config_text;
+mod platform;
+mod simulator;
+
+pub use batch::run_batch;
+pub use platform::Platform;
+pub use simulator::{SimError, SimOptions, SimStats, Simulator};

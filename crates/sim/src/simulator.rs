@@ -1,0 +1,295 @@
+//! Trace replay through a timing model.
+
+use crate::platform::Platform;
+use racesim_decoder::{DecodeError, Decoder};
+use racesim_isa::{DynInst, EncodedInst, StaticInst};
+use racesim_mem::{HierarchyStats, MemoryHierarchy};
+use racesim_trace::{TraceBuffer, TraceRecord};
+use racesim_uarch::{CoreConfig, CoreKind, CoreModel, CoreStats, InOrderCore, OooCore};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An instruction word in the trace failed to decode.
+    Decode {
+        /// Program counter of the offending record.
+        pc: u64,
+        /// The decoder's error.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Decode { pc, source } => {
+                write!(f, "decode failure at pc {pc:#x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Decode { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Per-run options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Pre-install every code line touched by the trace (warm I-cache).
+    pub prefill_code: bool,
+    /// Pre-install every data line touched by the trace (warm D-side) —
+    /// the "initializing the arrays prior to simulation" remedy from the
+    /// paper's Section IV-B.
+    pub prefill_data: bool,
+    /// Pre-install touched data lines into the L2 only (kernel
+    /// zero-fill-on-first-touch warmth; used by the reference hardware).
+    pub prefill_data_l2: bool,
+}
+
+/// Statistics from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Core-side counters (instructions, cycles, branches).
+    pub core: CoreStats,
+    /// Memory-side counters.
+    pub mem: HierarchyStats,
+}
+
+impl SimStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.core.cpi()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+}
+
+fn build_core(cfg: &CoreConfig) -> Box<dyn CoreModel> {
+    match cfg.kind {
+        CoreKind::InOrder => Box::new(InOrderCore::new(cfg)),
+        CoreKind::OutOfOrder => Box::new(OooCore::new(cfg)),
+    }
+}
+
+/// The trace-driven simulator.
+///
+/// A `Simulator` owns a platform description and a decoder; each call to
+/// [`Simulator::run`] builds fresh core and memory state, so one simulator
+/// can be reused (and shared across threads) for many runs.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    platform: Platform,
+    decoder: Decoder,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// Creates a simulator with a bug-free decoder and default options.
+    pub fn new(platform: Platform) -> Simulator {
+        Simulator {
+            platform,
+            decoder: Decoder::new(),
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Creates a simulator with an explicit decoder (e.g. the quirky
+    /// "Capstone-like" one) and options.
+    pub fn with_decoder(platform: Platform, decoder: Decoder, options: SimOptions) -> Simulator {
+        Simulator {
+            platform,
+            decoder,
+            options,
+        }
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Replays a trace through the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] if the trace contains an undecodable
+    /// word.
+    pub fn run(&self, trace: &TraceBuffer) -> Result<SimStats, SimError> {
+        self.run_records(trace.records())
+    }
+
+    /// Replays a record slice through the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] if the trace contains an undecodable
+    /// word.
+    pub fn run_records(&self, records: &[TraceRecord]) -> Result<SimStats, SimError> {
+        let mut core = build_core(&self.platform.core);
+        let mut mem = MemoryHierarchy::new(&self.platform.mem);
+        let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
+
+        if self.options.prefill_code || self.options.prefill_data || self.options.prefill_data_l2
+        {
+            for r in records {
+                if self.options.prefill_code {
+                    mem.prefill_code(r.pc());
+                }
+                if let Some(ea) = r.ea() {
+                    if self.options.prefill_data {
+                        mem.prefill_data(ea);
+                    } else if self.options.prefill_data_l2 {
+                        mem.prefill_data_l2(ea);
+                    }
+                }
+            }
+        }
+
+        for r in records {
+            let stat = match decode_cache.get(&r.word()) {
+                Some(s) => *s,
+                None => {
+                    let s = self.decoder.decode(r.word()).map_err(|source| {
+                        SimError::Decode {
+                            pc: r.pc(),
+                            source,
+                        }
+                    })?;
+                    decode_cache.insert(r.word(), s);
+                    s
+                }
+            };
+            let dyn_inst = DynInst {
+                pc: r.pc(),
+                stat,
+                ea: r.ea().unwrap_or(0),
+                taken: r.taken(),
+                target: r.target().unwrap_or(0),
+            };
+            core.consume(&dyn_inst, &mut mem);
+        }
+        core.finish(&mut mem);
+        Ok(SimStats {
+            core: core.stats(),
+            mem: mem.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_isa::{asm::Asm, Reg};
+    use racesim_trace::TraceRecord;
+
+    fn loop_trace(iters: usize) -> TraceBuffer {
+        // A 3-instruction loop body re-executed `iters` times at fixed pcs.
+        let mut a = Asm::new();
+        a.addi(Reg::x(1), Reg::x(1), 1);
+        a.ldr8(Reg::x(2), Reg::x(3), 0);
+        let l = a.here();
+        a.b(l);
+        let p = a.finish();
+        let mut t = TraceBuffer::new();
+        for _ in 0..iters {
+            racesim_trace::TraceSink::push(
+                &mut t,
+                TraceRecord::plain(p.pc_of(0), p.code[0]),
+            )
+            .unwrap();
+            racesim_trace::TraceSink::push(
+                &mut t,
+                TraceRecord::memory(p.pc_of(1), p.code[1], 0x8000),
+            )
+            .unwrap();
+            racesim_trace::TraceSink::push(
+                &mut t,
+                TraceRecord::branch(p.pc_of(2), p.code[2], true, p.pc_of(0)),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn runs_on_both_core_kinds() {
+        let t = loop_trace(500);
+        let s53 = Simulator::new(Platform::a53_like()).run(&t).unwrap();
+        let s72 = Simulator::new(Platform::a72_like()).run(&t).unwrap();
+        assert_eq!(s53.core.instructions, 1500);
+        assert_eq!(s72.core.instructions, 1500);
+        assert!(s53.cpi() > 0.3 && s53.cpi() < 5.0, "{}", s53.cpi());
+        assert!(s72.cpi() > 0.3 && s72.cpi() < 5.0, "{}", s72.cpi());
+    }
+
+    #[test]
+    fn decode_cache_and_errors() {
+        let mut t = loop_trace(2);
+        // Append a record with an undecodable word.
+        racesim_trace::TraceSink::push(
+            &mut t,
+            TraceRecord::plain(0xdead0, racesim_isa::EncodedInst(0xfe)),
+        )
+        .unwrap();
+        let err = Simulator::new(Platform::a53_like()).run(&t).unwrap_err();
+        assert!(matches!(err, SimError::Decode { pc: 0xdead0, .. }));
+        assert!(err.to_string().contains("0xdead0"));
+    }
+
+    #[test]
+    fn prefill_data_removes_cold_misses() {
+        let t = loop_trace(100);
+        let plat = Platform::a53_like();
+        let cold = Simulator::new(plat.clone()).run(&t).unwrap();
+        let warm = Simulator::with_decoder(
+            plat,
+            Decoder::new(),
+            SimOptions {
+                prefill_code: true,
+                prefill_data: true,
+                prefill_data_l2: false,
+            },
+        )
+        .run(&t)
+        .unwrap();
+        assert!(warm.core.cycles < cold.core.cycles);
+        assert_eq!(warm.mem.l1d.misses, 0, "all data prefilled");
+    }
+
+    #[test]
+    fn quirky_decoder_slows_fp_loops() {
+        // Independent fadds: the quirky decoder serialises them through
+        // the false dest-as-source dependency.
+        let mut a = Asm::new();
+        a.fadd(Reg::v(1), Reg::v(2), Reg::v(3));
+        let p = a.finish();
+        let t: TraceBuffer = (0..500)
+            .map(|_| TraceRecord::plain(p.code_base, p.code[0]))
+            .collect();
+        let plat = Platform::a53_like();
+        let fixed = Simulator::new(plat.clone()).run(&t).unwrap();
+        let quirky = Simulator::with_decoder(
+            plat,
+            Decoder::with_quirks(racesim_decoder::Quirks::capstone_like()),
+            SimOptions::default(),
+        )
+        .run(&t)
+        .unwrap();
+        assert!(
+            quirky.core.cycles as f64 > fixed.core.cycles as f64 * 2.0,
+            "quirk serialises: {} vs {}",
+            quirky.core.cycles,
+            fixed.core.cycles
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Error metrics used throughout the validation methodology.
+
+/// Absolute percentage error of `predicted` against `reference`, in
+/// percent — the paper's per-benchmark "CPI error".
+///
+/// # Panics
+///
+/// Panics if `reference` is zero.
+pub fn abs_pct_error(predicted: f64, reference: f64) -> f64 {
+    assert!(reference != 0.0, "reference value must be non-zero");
+    100.0 * ((predicted - reference) / reference).abs()
+}
+
+/// Signed percentage error (positive = over-prediction).
+///
+/// # Panics
+///
+/// Panics if `reference` is zero.
+pub fn signed_pct_error(predicted: f64, reference: f64) -> f64 {
+    assert!(reference != 0.0, "reference value must be non-zero");
+    100.0 * (predicted - reference) / reference
+}
+
+/// Mean absolute percentage error over paired slices — the paper's
+/// "average absolute CPI prediction error".
+///
+/// # Panics
+///
+/// Panics on length mismatch, empty input, or a zero reference.
+pub fn mean_abs_pct_error(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "need at least one pair");
+    predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| abs_pct_error(*p, *r))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_errors() {
+        assert!((abs_pct_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((abs_pct_error(0.9, 1.0) - 10.0).abs() < 1e-9);
+        assert!((signed_pct_error(0.9, 1.0) + 10.0).abs() < 1e-9);
+        assert!((mean_abs_pct_error(&[1.1, 0.8], &[1.0, 1.0]) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_reference_panics() {
+        let _ = abs_pct_error(1.0, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # racesim-stats
+//!
+//! The statistical machinery behind iterated racing.
+//!
+//! irace eliminates configurations that "can be statistically proven to be
+//! inferior to others" — by default with the Friedman rank test plus a
+//! rank-sum post-hoc comparison, or alternatively paired t-tests. This
+//! crate implements those tests from scratch (R is not available here),
+//! together with the special functions they need and the error metrics the
+//! validation methodology reports.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod descriptive;
+mod dist;
+mod error;
+mod ranks;
+mod tests;
+
+pub use descriptive::{mean, population_variance, sample_std_dev, sample_variance};
+pub use dist::{chi_squared_sf, ln_gamma, normal_sf, student_t_sf};
+pub use error::{abs_pct_error, mean_abs_pct_error, signed_pct_error};
+pub use ranks::rank_with_ties;
+pub use tests::{friedman_test, paired_t_test, wilcoxon_signed_rank, FriedmanOutcome};

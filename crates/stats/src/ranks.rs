@@ -1,0 +1,64 @@
+//! Ranking with tie handling.
+
+/// Assigns ranks (1-based) to the values, giving tied values the average
+/// of the ranks they span — the convention the Friedman and Wilcoxon tests
+/// require.
+///
+/// # Example
+///
+/// ```
+/// use racesim_stats::rank_with_ties;
+/// assert_eq!(rank_with_ties(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn rank_with_ties(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_ordering() {
+        assert_eq!(rank_with_ties(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(rank_with_ties(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        let xs = [4.0, 4.0, 1.0, 7.0, 7.0, 7.0, 2.0];
+        let n = xs.len() as f64;
+        let sum: f64 = rank_with_ties(&xs).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(rank_with_ties(&[]).is_empty());
+        assert_eq!(rank_with_ties(&[9.0]), vec![1.0]);
+    }
+}

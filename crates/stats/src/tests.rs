@@ -1,0 +1,238 @@
+//! Hypothesis tests used by the racing algorithm.
+
+use crate::descriptive::{mean, sample_std_dev};
+use crate::dist::{chi_squared_sf, normal_sf, student_t_sf};
+use crate::ranks::rank_with_ties;
+
+/// Result of a Friedman rank test across configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriedmanOutcome {
+    /// The chi-squared distributed statistic (tie-corrected).
+    pub statistic: f64,
+    /// Two-sided p-value against the chi-squared(k−1) distribution.
+    pub p_value: f64,
+    /// Per-configuration rank sums (lower is better when costs are
+    /// ranked ascending).
+    pub rank_sums: Vec<f64>,
+    /// Blocks (instances) used.
+    pub blocks: usize,
+}
+
+/// Friedman rank test.
+///
+/// `costs[i][j]` is the cost of configuration `j` on instance (block) `i`;
+/// every row must have the same length `k >= 2`, and there must be at
+/// least two rows. Returns `None` when the statistic is undefined (all
+/// rows completely tied).
+///
+/// # Panics
+///
+/// Panics on ragged input or fewer than 2 configurations/blocks.
+pub fn friedman_test(costs: &[Vec<f64>]) -> Option<FriedmanOutcome> {
+    let n = costs.len();
+    assert!(n >= 2, "Friedman needs at least two blocks");
+    let k = costs[0].len();
+    assert!(k >= 2, "Friedman needs at least two configurations");
+    assert!(
+        costs.iter().all(|row| row.len() == k),
+        "ragged cost matrix"
+    );
+
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_correction = 0.0; // sum over blocks of (sum t^3 - t)
+    for row in costs {
+        let ranks = rank_with_ties(row);
+        for (j, r) in ranks.iter().enumerate() {
+            rank_sums[j] += r;
+        }
+        // Count tie group sizes in this row.
+        let mut sorted = row.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_correction += t * t * t - t;
+            i = j + 1;
+        }
+    }
+
+    let n_f = n as f64;
+    let k_f = k as f64;
+    let sum_r2: f64 = rank_sums.iter().map(|r| r * r).sum();
+    // Tie-corrected Friedman statistic (Conover).
+    let numerator = 12.0 * sum_r2 - 3.0 * n_f * n_f * k_f * (k_f + 1.0) * (k_f + 1.0);
+    let denominator = n_f * k_f * (k_f + 1.0) - tie_correction / (k_f - 1.0);
+    if denominator <= 0.0 {
+        return None; // every block fully tied
+    }
+    let statistic = numerator / denominator;
+    let p_value = chi_squared_sf(statistic.max(0.0), (k - 1) as u32);
+    Some(FriedmanOutcome {
+        statistic,
+        p_value,
+        rank_sums,
+        blocks: n,
+    })
+}
+
+/// Two-sided paired t-test on paired observations.
+///
+/// Returns `(t, p)`; `p = 1` when the differences have zero variance
+/// (no evidence either way) unless the mean difference is also non-zero
+/// with zero variance, in which case `p = 0`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    assert!(a.len() >= 2, "paired test needs at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let m = mean(&diffs);
+    let sd = sample_std_dev(&diffs);
+    if sd == 0.0 {
+        return if m == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY * m.signum(), 0.0)
+        };
+    }
+    let t = m / (sd / (diffs.len() as f64).sqrt());
+    let p = student_t_sf(t, (diffs.len() - 1) as u32);
+    (t, p)
+}
+
+/// Two-sided Wilcoxon signed-rank test (normal approximation with
+/// continuity correction). Zero differences are dropped, per Wilcoxon's
+/// original procedure. Returns `(w_plus, p)`; `p = 1` when every pair is
+/// tied.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = rank_with_ties(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let n_f = n as f64;
+    let mu = n_f * (n_f + 1.0) / 4.0;
+    let sigma = (n_f * (n_f + 1.0) * (2.0 * n_f + 1.0) / 24.0).sqrt();
+    if sigma == 0.0 {
+        return (w_plus, 1.0);
+    }
+    let z = (w_plus - mu).abs() - 0.5;
+    let p = (2.0 * normal_sf(z.max(0.0) / sigma)).min(1.0);
+    (w_plus, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn friedman_detects_a_dominant_configuration() {
+        // Config 0 always best, config 2 always worst, 8 blocks.
+        let costs: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![1.0 + i as f64, 2.0 + i as f64, 3.0 + i as f64])
+            .collect();
+        let out = friedman_test(&costs).unwrap();
+        assert!(out.p_value < 0.01, "p = {}", out.p_value);
+        assert!(out.rank_sums[0] < out.rank_sums[1]);
+        assert!(out.rank_sums[1] < out.rank_sums[2]);
+        assert_eq!(out.blocks, 8);
+    }
+
+    #[test]
+    fn friedman_sees_no_signal_in_symmetric_noise() {
+        // Rotating winners: no configuration dominates.
+        let costs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+        ];
+        let out = friedman_test(&costs).unwrap();
+        assert!(out.p_value > 0.5, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn friedman_all_tied_returns_none() {
+        let costs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        assert!(friedman_test(&costs).is_none());
+    }
+
+    #[test]
+    fn friedman_matches_r_reference() {
+        // R: friedman.test(matrix(c(1,2,3, 1,3,2, 2,1,3, 1,2,3),
+        //                   nrow=4, byrow=TRUE))
+        // Friedman chi-squared = 4.5 ... p = 0.1054
+        let costs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 3.0, 2.0],
+            vec![2.0, 1.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let out = friedman_test(&costs).unwrap();
+        assert!((out.statistic - 4.5).abs() < 1e-9, "{}", out.statistic);
+        assert!((out.p_value - 0.1054).abs() < 1e-3, "{}", out.p_value);
+    }
+
+    #[test]
+    fn paired_t_detects_shift() {
+        let a = [5.1, 4.9, 5.3, 5.0, 5.2, 5.1, 4.8, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let (t, p) = paired_t_test(&a, &b);
+        assert!(t < 0.0);
+        assert!(p < 1e-6, "p = {p}");
+
+        let (_, p_same) = paired_t_test(&a, &a.to_vec());
+        assert!((p_same - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_t_no_signal_in_noise() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let (_, p) = paired_t_test(&a, &b);
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn wilcoxon_detects_shift_and_ignores_ties() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 2.0).collect();
+        let (_, p) = wilcoxon_signed_rank(&a, &b);
+        assert!(p < 0.001, "p = {p}");
+
+        let (_, p_tied) = wilcoxon_signed_rank(&a, &a.clone());
+        assert_eq!(p_tied, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = friedman_test(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Serialised trace streams.
+
+use crate::record::{TraceRecord, TraceSink};
+use crate::varint;
+use racesim_isa::EncodedInst;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every trace stream.
+const MAGIC: &[u8; 6] = b"RSIF\x00\x01";
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+// Wire flags. The low three bits mirror `TraceRecord`'s internal flags;
+// the upper bits drive the compression.
+const W_HAS_EA: u8 = 1 << 0;
+const W_IS_BRANCH: u8 = 1 << 1;
+const W_TAKEN: u8 = 1 << 2;
+const W_PC_EXPLICIT: u8 = 1 << 3;
+const W_WORD_EXPLICIT: u8 = 1 << 4;
+/// End-of-stream marker byte (an impossible flag combination).
+const W_END: u8 = 0xff;
+
+/// Streaming trace encoder.
+///
+/// Records are delta- and dictionary-compressed: the PC is implicit while
+/// control flow is sequential, and the instruction word for a PC is
+/// transmitted only on its first occurrence. Always call
+/// [`TraceWriter::finish`] to emit the end-of-stream marker.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    expected_pc: u64,
+    last_ea: u64,
+    seen: HashMap<u64, EncodedInst>,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a new trace stream, writing the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut w: W) -> io::Result<TraceWriter<W>> {
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(TraceWriter {
+            w,
+            expected_pc: 0,
+            last_ea: 0,
+            seen: HashMap::new(),
+            count: 0,
+        })
+    }
+
+    /// Number of records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        let mut flags = rec.flags() & (W_HAS_EA | W_IS_BRANCH | W_TAKEN);
+        let pc = rec.pc();
+        if pc != self.expected_pc {
+            flags |= W_PC_EXPLICIT;
+        }
+        let word_known = self.seen.get(&pc) == Some(&rec.word());
+        if !word_known {
+            flags |= W_WORD_EXPLICIT;
+        }
+        self.w.write_all(&[flags])?;
+        if flags & W_PC_EXPLICIT != 0 {
+            varint::write_i64(&mut self.w, pc.wrapping_sub(self.expected_pc) as i64)?;
+        }
+        if flags & W_WORD_EXPLICIT != 0 {
+            self.w.write_all(&rec.word().word().to_le_bytes())?;
+            self.seen.insert(pc, rec.word());
+        }
+        if flags & W_HAS_EA != 0 {
+            let ea = rec.raw_ea();
+            varint::write_i64(&mut self.w, ea.wrapping_sub(self.last_ea) as i64)?;
+            self.last_ea = ea;
+        }
+        if flags & W_TAKEN != 0 {
+            varint::write_i64(&mut self.w, rec.raw_target().wrapping_sub(pc) as i64)?;
+        }
+        self.expected_pc = rec.next_pc();
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Writes the end-of-stream marker and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.write_all(&[W_END])?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn push(&mut self, record: TraceRecord) -> io::Result<()> {
+        self.write(&record)
+    }
+}
+
+/// Streaming trace decoder.
+///
+/// Iterate with [`TraceReader::next_record`] or via the [`Iterator`]
+/// implementation (which yields `io::Result<TraceRecord>`).
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    expected_pc: u64,
+    last_ea: u64,
+    seen: HashMap<u64, EncodedInst>,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the magic or version does not match, or any
+    /// underlying I/O error.
+    pub fn new(mut r: R) -> io::Result<TraceReader<R>> {
+        let mut magic = [0u8; 6];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a racesim trace (bad magic)",
+            ));
+        }
+        let mut ver = [0u8; 2];
+        r.read_exact(&mut ver)?;
+        if u16::from_le_bytes(ver) != FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {}", u16::from_le_bytes(ver)),
+            ));
+        }
+        Ok(TraceReader {
+            r,
+            expected_pc: 0,
+            last_ea: 0,
+            seen: HashMap::new(),
+            done: false,
+        })
+    }
+
+    /// Reads the next record, or `None` at the end-of-stream marker.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a corrupt stream (including truncation
+    /// before the end marker) and propagates underlying I/O errors.
+    pub fn next_record(&mut self) -> io::Result<Option<TraceRecord>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut flags_b = [0u8; 1];
+        self.r.read_exact(&mut flags_b)?;
+        let flags = flags_b[0];
+        if flags == W_END {
+            self.done = true;
+            return Ok(None);
+        }
+        if flags & !(W_HAS_EA | W_IS_BRANCH | W_TAKEN | W_PC_EXPLICIT | W_WORD_EXPLICIT) != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt trace: bad flags {flags:#x}"),
+            ));
+        }
+        let pc = if flags & W_PC_EXPLICIT != 0 {
+            self.expected_pc
+                .wrapping_add(varint::read_i64(&mut self.r)? as u64)
+        } else {
+            self.expected_pc
+        };
+        let word = if flags & W_WORD_EXPLICIT != 0 {
+            let mut b = [0u8; 8];
+            self.r.read_exact(&mut b)?;
+            let w = EncodedInst(u64::from_le_bytes(b));
+            self.seen.insert(pc, w);
+            w
+        } else {
+            *self.seen.get(&pc).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt trace: no cached word for pc {pc:#x}"),
+                )
+            })?
+        };
+        let ea = if flags & W_HAS_EA != 0 {
+            let ea = self
+                .last_ea
+                .wrapping_add(varint::read_i64(&mut self.r)? as u64);
+            self.last_ea = ea;
+            ea
+        } else {
+            0
+        };
+        let target = if flags & W_TAKEN != 0 {
+            pc.wrapping_add(varint::read_i64(&mut self.r)? as u64)
+        } else {
+            0
+        };
+        let rec = TraceRecord::from_raw(pc, word, ea, target, flags & 0x7);
+        self.expected_pc = rec.next_pc();
+        Ok(Some(rec))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(records: &[TraceRecord]) -> Vec<TraceRecord> {
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes).unwrap();
+        for r in records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(roundtrip(&[]), vec![]);
+    }
+
+    #[test]
+    fn mixed_records_roundtrip() {
+        let recs = vec![
+            TraceRecord::plain(0x1000, EncodedInst(0xAB)),
+            TraceRecord::memory(0x1004, EncodedInst(0x21), 0xdead_0000),
+            TraceRecord::memory(0x1008, EncodedInst(0x21), 0xdead_0040),
+            TraceRecord::branch(0x100c, EncodedInst(0x23), true, 0x1000),
+            TraceRecord::plain(0x1000, EncodedInst(0xAB)),
+            TraceRecord::branch(0x1004, EncodedInst(0x24), false, 0),
+        ];
+        assert_eq!(roundtrip(&recs), recs);
+    }
+
+    #[test]
+    fn loop_traces_compress_well() {
+        // A 4-instruction loop executed 1000 times.
+        let mut recs = Vec::new();
+        for _ in 0..1000 {
+            recs.push(TraceRecord::plain(0x1000, EncodedInst(0x01)));
+            recs.push(TraceRecord::memory(0x1004, EncodedInst(0x21), 0x8000));
+            recs.push(TraceRecord::plain(0x1008, EncodedInst(0x02)));
+            recs.push(TraceRecord::branch(0x100c, EncodedInst(0x25), true, 0x1000));
+        }
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes).unwrap();
+        for r in &recs {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let per_record = bytes.len() as f64 / recs.len() as f64;
+        assert!(per_record < 3.0, "got {per_record} bytes/record");
+        let back = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = b"NOPE\x00\x01\x01\x00".to_vec();
+        assert!(TraceReader::new(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        assert!(TraceReader::new(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_silent_eof() {
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes).unwrap();
+        w.write(&TraceRecord::plain(0x1000, EncodedInst(1))).unwrap();
+        w.write(&TraceRecord::plain(0x1004, EncodedInst(2))).unwrap();
+        // No finish(): stream lacks the end marker.
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_record().unwrap().is_some());
+        assert!(r.next_record().unwrap().is_some());
+        assert!(r.next_record().is_err(), "missing end marker must error");
+    }
+
+    #[test]
+    fn corrupt_flags_detected() {
+        let mut bytes = Vec::new();
+        let w = TraceWriter::new(&mut bytes).unwrap();
+        w.finish().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xE0; // invalid flag combination, not W_END
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn writer_counts_records() {
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes).unwrap();
+        assert_eq!(w.count(), 0);
+        w.write(&TraceRecord::plain(0, EncodedInst(0))).unwrap();
+        assert_eq!(w.count(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! LEB128 varint and zigzag codecs used by the trace format.
+
+use std::io::{self, Read, Write};
+
+/// Writes an unsigned LEB128 varint.
+pub fn write_u64<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encodes a signed integer for varint transmission.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Reverses [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes a zigzag-encoded signed varint.
+pub fn write_i64<W: Write>(w: &mut W, v: i64) -> io::Result<()> {
+    write_u64(w, zigzag(v))
+}
+
+/// Reads a zigzag-encoded signed varint.
+pub fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+    read_u64(r).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        assert_eq!(read_u64(&mut buf.as_slice()).unwrap(), v, "{v}");
+    }
+
+    fn roundtrip_i(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v).unwrap();
+        assert_eq!(read_i64(&mut buf.as_slice()).unwrap(), v, "{v}");
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0, 1, -1, 63, -64, i32::MIN as i64, i64::MAX, i64::MIN] {
+            roundtrip_i(v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_values_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = vec![0x80u8, 0x80];
+        assert!(read_u64(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let buf = vec![0xffu8; 11];
+        assert!(read_u64(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Branch target buffer.
+
+/// A set-associative branch target buffer with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    // (tag pc, target, stamp) per way; tag 0 means invalid (pc 0 never
+    // holds a branch in our address layout).
+    ways: Vec<(u64, u64, u64)>,
+    sets: usize,
+    assoc: usize,
+    clock: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `ways` is zero, or
+    /// `ways` does not divide `entries`.
+    pub fn new(entries: u32, ways: u32) -> Btb {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
+        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        let sets = (entries / ways) as usize;
+        assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
+        Btb {
+            ways: vec![(0, 0, 0); entries as usize],
+            sets,
+            assoc: ways as usize,
+            clock: 0,
+        }
+    }
+
+    fn set_range(&self, pc: u64) -> std::ops::Range<usize> {
+        let set = ((pc >> 2) as usize) & (self.sets - 1);
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// The predicted target for `pc`, if present.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let r = self.set_range(pc);
+        self.ways[r].iter().find(|(t, _, _)| *t == pc).map(|e| e.1)
+    }
+
+    /// Installs or refreshes the target for a taken branch.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let r = self.set_range(pc);
+        if let Some(e) = self.ways[r.clone()].iter_mut().find(|(t, _, _)| *t == pc) {
+            e.1 = target;
+            e.2 = self.clock;
+            return;
+        }
+        // Evict LRU (invalid entries have stamp 0 and lose ties first).
+        let clock = self.clock;
+        let victim = self.ways[r]
+            .iter_mut()
+            .min_by_key(|(_, _, stamp)| *stamp)
+            .expect("BTB set is non-empty");
+        *victim = (pc, target, clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_after_update() {
+        let mut b = Btb::new(64, 2);
+        assert_eq!(b.lookup(0x1000), None);
+        b.update(0x1000, 0x2000);
+        assert_eq!(b.lookup(0x1000), Some(0x2000));
+        b.update(0x1000, 0x3000);
+        assert_eq!(b.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn conflicting_pcs_evict_lru() {
+        let mut b = Btb::new(4, 2); // 2 sets x 2 ways
+        // Three pcs in the same set (stride = sets*4 = 8 bytes).
+        b.update(0x1000, 1);
+        b.update(0x1008, 2);
+        b.lookup(0x1000); // lookup does not refresh LRU (no clock bump)
+        b.update(0x1010, 3); // evicts 0x1000 (oldest stamp)
+        assert_eq!(b.lookup(0x1000), None);
+        assert_eq!(b.lookup(0x1008), Some(2));
+        assert_eq!(b.lookup(0x1010), Some(3));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut b = Btb::new(64, 2); // 32 sets
+        b.update(0x1000, 1);
+        b.update(0x1004, 2); // next set
+        assert_eq!(b.lookup(0x1000), Some(1));
+        assert_eq!(b.lookup(0x1004), Some(2));
+    }
+}

@@ -1,0 +1,251 @@
+//! Direction (taken / not-taken) predictors.
+
+/// A conditional-branch direction predictor.
+pub trait DirectionPredictor: std::fmt::Debug + Send {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains the predictor with the architectural outcome.
+    fn update(&mut self, pc: u64, taken: bool);
+}
+
+/// Always-taken or always-not-taken.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPredictor {
+    taken: bool,
+}
+
+impl StaticPredictor {
+    /// Predicts every branch taken.
+    pub fn taken() -> StaticPredictor {
+        StaticPredictor { taken: true }
+    }
+
+    /// Predicts every branch not taken.
+    pub fn not_taken() -> StaticPredictor {
+        StaticPredictor { taken: false }
+    }
+}
+
+impl DirectionPredictor for StaticPredictor {
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.taken
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+}
+
+/// Saturating 2-bit counter.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Classic PC-indexed table of 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl BimodalPredictor {
+    /// Creates a bimodal predictor with `2^table_bits` counters,
+    /// initialised weakly taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` exceeds 24 (a 16M-entry table is beyond any
+    /// plausible hardware).
+    pub fn new(table_bits: u8) -> BimodalPredictor {
+        assert!(table_bits <= 24, "bimodal table too large");
+        let n = 1usize << table_bits;
+        BimodalPredictor {
+            table: vec![Counter2(2); n],
+            mask: n as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for BimodalPredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+    }
+}
+
+/// Gshare: global history XORed with the PC indexes the counter table
+/// (McFarling).
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<Counter2>,
+    mask: u64,
+    history: u64,
+    history_mask: u64,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits > 24` or `history_bits > 32`.
+    pub fn new(table_bits: u8, history_bits: u8) -> GsharePredictor {
+        assert!(table_bits <= 24, "gshare table too large");
+        assert!(history_bits <= 32, "history too long");
+        let n = 1usize << table_bits;
+        GsharePredictor {
+            table: vec![Counter2(2); n],
+            mask: n as u64 - 1,
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for GsharePredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+    }
+}
+
+/// Tournament predictor: bimodal and gshare components with a per-PC
+/// 2-bit chooser (Alpha 21264 style).
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    bimodal: BimodalPredictor,
+    gshare: GsharePredictor,
+    chooser: Vec<Counter2>,
+    mask: u64,
+}
+
+impl TournamentPredictor {
+    /// Creates a tournament predictor; each component table has
+    /// `2^table_bits` counters.
+    pub fn new(table_bits: u8, history_bits: u8) -> TournamentPredictor {
+        let n = 1usize << table_bits;
+        TournamentPredictor {
+            bimodal: BimodalPredictor::new(table_bits),
+            gshare: GsharePredictor::new(table_bits, history_bits),
+            chooser: vec![Counter2(2); n],
+            mask: n as u64 - 1,
+        }
+    }
+}
+
+impl DirectionPredictor for TournamentPredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        let use_gshare = self.chooser[((pc >> 2) & self.mask) as usize].predict();
+        if use_gshare {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let pb = self.bimodal.predict(pc);
+        let pg = self.gshare.predict(pc);
+        // Train the chooser toward whichever component was right.
+        if pb != pg {
+            let c = &mut self.chooser[((pc >> 2) & self.mask) as usize];
+            c.update(pg == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2(0);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert!(c.predict());
+        assert_eq!(c.0, 3);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert!(!c.predict());
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn static_predictors_never_learn() {
+        let mut t = StaticPredictor::taken();
+        let mut n = StaticPredictor::not_taken();
+        t.update(0, false);
+        n.update(0, true);
+        assert!(t.predict(0));
+        assert!(!n.predict(0));
+    }
+
+    #[test]
+    fn bimodal_learns_bias_quickly() {
+        let mut p = BimodalPredictor::new(10);
+        for _ in 0..4 {
+            p.update(0x100, false);
+        }
+        assert!(!p.predict(0x100));
+        // Distinct pcs are independent (within the table size).
+        assert!(p.predict(0x104));
+    }
+
+    #[test]
+    fn gshare_history_wraps_and_masks() {
+        let mut p = GsharePredictor::new(8, 4);
+        for k in 0..100 {
+            p.update(0x200, k % 2 == 0);
+        }
+        assert!(p.history <= 0xf, "history confined to 4 bits");
+    }
+
+    #[test]
+    fn tournament_tracks_the_better_component() {
+        let mut p = TournamentPredictor::new(10, 8);
+        // Alternating pattern: gshare wins, tournament should converge.
+        let mut mis = 0;
+        for k in 0..400 {
+            let taken = k % 2 == 0;
+            if p.predict(0x300) != taken {
+                mis += 1;
+            }
+            p.update(0x300, taken);
+        }
+        assert!(mis < 60, "tournament converges on pattern: {mis}");
+    }
+}

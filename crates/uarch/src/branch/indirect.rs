@@ -1,0 +1,104 @@
+//! Indirect branch target prediction.
+
+/// Path-history indirect predictor: a target cache indexed by the PC
+/// hashed with recent target history (a two-level scheme in the spirit of
+/// Chang/Hao/Patt's tagged target cache).
+///
+/// This is the "indirect branch support" the paper adds after the `CS1`
+/// micro-benchmark — "a case statement that benefits from indirect branch
+/// support" — exposed a high residual error.
+#[derive(Debug, Clone)]
+pub struct PathHistoryPredictor {
+    table: Vec<(u64, u64)>, // (tag, target)
+    mask: u64,
+    history: u64,
+    history_mask: u64,
+}
+
+impl PathHistoryPredictor {
+    /// Creates a predictor with `2^table_bits` entries and
+    /// `history_bits` of path history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits > 20` or `history_bits > 32`.
+    pub fn new(table_bits: u8, history_bits: u8) -> PathHistoryPredictor {
+        assert!(table_bits <= 20, "indirect table too large");
+        assert!(history_bits <= 32, "path history too long");
+        let n = 1usize << table_bits;
+        PathHistoryPredictor {
+            table: vec![(u64::MAX, 0); n],
+            mask: n as u64 - 1,
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Fibonacci multiply-shift so that histories differing only in high
+        // bits still spread across the table.
+        let h = self.history.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+        (((pc >> 2) ^ h) & self.mask) as usize
+    }
+
+    /// Predicts the target for the indirect branch at `pc`.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.table[self.index(pc)];
+        (tag == pc).then_some(target)
+    }
+
+    /// Trains with the architectural target and folds it into the path
+    /// history.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.table[i] = (pc, target);
+        // Mix the target before folding so aligned targets (whose low bits
+        // are all zero) still perturb a short history register.
+        let t = (target >> 2).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56;
+        self.history = ((self.history << 4) ^ t) & self.history_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_target_learned_immediately() {
+        let mut p = PathHistoryPredictor::new(8, 8);
+        assert_eq!(p.predict(0x100), None);
+        p.update(0x100, 0x2000);
+        // History changed after the update, so the next lookup uses a new
+        // index; train once more along the same path.
+        p.update(0x100, 0x2000);
+        // With a stable repeating path the predictor converges; verify over
+        // a few rounds.
+        let mut correct = 0;
+        for _ in 0..10 {
+            if p.predict(0x100) == Some(0x2000) {
+                correct += 1;
+            }
+            p.update(0x100, 0x2000);
+        }
+        assert!(correct >= 8, "{correct}");
+    }
+
+    #[test]
+    fn cycling_targets_distinguished_by_history() {
+        let mut p = PathHistoryPredictor::new(10, 12);
+        let targets = [0x2000u64, 0x3000, 0x4000];
+        // Warm up.
+        for k in 0..30usize {
+            p.update(0x100, targets[k % 3]);
+        }
+        let mut correct = 0;
+        for k in 30..130usize {
+            let t = targets[k % 3];
+            if p.predict(0x100) == Some(t) {
+                correct += 1;
+            }
+            p.update(0x100, t);
+        }
+        assert!(correct >= 90, "path history should learn the cycle: {correct}");
+    }
+}

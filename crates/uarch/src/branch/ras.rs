@@ -1,0 +1,90 @@
+//! Return address stack.
+
+/// A fixed-depth circular return-address stack.
+///
+/// Overflow silently wraps (clobbering the oldest entry) and underflow
+/// returns `None`, matching real hardware behaviour on deep recursion —
+/// which is exactly what the `CRd` micro-benchmark stresses.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given capacity (0 disables it: every pop
+    /// returns `None`).
+    pub fn new(capacity: u32) -> ReturnAddressStack {
+        ReturnAddressStack {
+            entries: vec![0; capacity.max(1) as usize],
+            top: 0,
+            depth: 0,
+            capacity: capacity as usize,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.top = (self.top + 1) % self.capacity;
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.capacity == 0 || self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_clobbers_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // clobbers 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        // Depth exhausted; the clobbered "1" is unrecoverable.
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_predicts_nothing() {
+        let mut r = ReturnAddressStack::new(0);
+        r.push(7);
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.depth(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! The common interface of core timing models.
+
+use crate::stats::CoreStats;
+use racesim_isa::DynInst;
+use racesim_mem::MemoryHierarchy;
+
+/// A streaming core timing model.
+///
+/// Implementations consume the dynamic instruction stream one instruction
+/// at a time, issuing instruction-fetch and data requests to the memory
+/// hierarchy, and accumulate cycle-accurate statistics. After the last
+/// instruction, call [`CoreModel::finish`] to drain in-flight state.
+pub trait CoreModel: std::fmt::Debug + Send {
+    /// Times one dynamic instruction.
+    fn consume(&mut self, inst: &DynInst, mem: &mut MemoryHierarchy);
+
+    /// Drains in-flight instructions (stores, the retire window) and
+    /// finalises the cycle count.
+    fn finish(&mut self, mem: &mut MemoryHierarchy);
+
+    /// Statistics accumulated so far ([`CoreModel::finish`] must have been
+    /// called for the final cycle count to be exact).
+    fn stats(&self) -> CoreStats;
+}

@@ -1,0 +1,518 @@
+//! In-order, dual-issue core timing model (Cortex-A53-like).
+//!
+//! The model walks the dynamic instruction stream once, maintaining a
+//! register scoreboard, per-cycle issue-slot bookkeeping (the contention
+//! model: "the contention model verifies that instructions issued in the
+//! same cycle are compatible, or can be dual-issued" — paper, Section
+//! IV-A), blocking functional units, a store buffer and the branch unit.
+//! Every instruction costs O(1) work, yet stalls from dependences,
+//! structural hazards, cache misses and branch mispredictions are
+//! accounted cycle-accurately.
+
+use crate::branch::{BranchResolution, BranchUnit};
+use crate::config::CoreConfig;
+use crate::core_model::CoreModel;
+use crate::latency::LatencyTable;
+use crate::stats::CoreStats;
+use racesim_isa::{DynInst, InstClass, Reg};
+use racesim_mem::{MemOp, MemoryHierarchy};
+use std::collections::VecDeque;
+
+/// Implicit fetch-queue depth decoupling fetch from issue.
+const FETCH_QUEUE: u64 = 8;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct IssueSlots {
+    cycle: u64,
+    total: u8,
+    mem: u8,
+    branch: u8,
+    mul_div: u8,
+    fp: u8,
+    alu: u8,
+}
+
+/// The in-order core model.
+#[derive(Debug)]
+pub struct InOrderCore {
+    // Static configuration.
+    lat: LatencyTable,
+    issue_width: u8,
+    int_alu_units: u8,
+    fp_units: u8,
+    div_blocking: bool,
+    store_buffer_cap: usize,
+    mem_per_cycle: u8,
+    fetch_width: u8,
+    frontend_depth: u64,
+
+    branch_unit: BranchUnit,
+
+    // Dynamic state.
+    reg_ready: [u64; Reg::COUNT],
+    fetch_cycle: u64,
+    fetch_bw_cycle: u64,
+    fetch_bw_count: u8,
+    cur_line: u64,
+    line_ready: u64,
+    last_issue: u64,
+    slots: IssueSlots,
+    int_div_free: u64,
+    fp_div_free: u64,
+    store_buffer: VecDeque<u64>,
+    store_drain: u64,
+
+    stats: CoreStats,
+}
+
+impl InOrderCore {
+    /// Builds the model from a core configuration (the `inorder`,
+    /// `frontend`, `branch` and `lat` sections are used).
+    pub fn new(cfg: &CoreConfig) -> InOrderCore {
+        InOrderCore {
+            lat: cfg.lat,
+            issue_width: cfg.inorder.issue_width.max(1),
+            int_alu_units: cfg.inorder.int_alu_units.max(1),
+            fp_units: cfg.inorder.fp_units.max(1),
+            div_blocking: cfg.inorder.div_blocking,
+            store_buffer_cap: cfg.inorder.store_buffer.max(1) as usize,
+            mem_per_cycle: cfg.inorder.mem_per_cycle.max(1),
+            fetch_width: cfg.frontend.fetch_width.max(1),
+            frontend_depth: cfg.frontend.depth as u64,
+            branch_unit: BranchUnit::new(&cfg.branch),
+            reg_ready: [0; Reg::COUNT],
+            fetch_cycle: 0,
+            fetch_bw_cycle: 0,
+            fetch_bw_count: 0,
+            cur_line: u64::MAX,
+            line_ready: 0,
+            last_issue: 0,
+            slots: IssueSlots::default(),
+            int_div_free: 0,
+            fp_div_free: 0,
+            store_buffer: VecDeque::new(),
+            store_drain: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Determines the cycle the instruction leaves the front-end.
+    fn fetch(&mut self, pc: u64, mem: &mut MemoryHierarchy) -> u64 {
+        let shift = mem.l1i_line_bytes().trailing_zeros();
+        let line = pc >> shift;
+        if line != self.cur_line {
+            let r = mem.access(MemOp::IFetch, pc, pc, self.fetch_cycle);
+            // Hits are hidden by the pipelined front-end; only the excess
+            // over the hit latency stalls fetch.
+            let extra = r.latency.saturating_sub(mem.l1i_hit_latency());
+            self.line_ready = self.fetch_cycle + extra;
+            self.cur_line = line;
+        }
+        let mut f = self.fetch_cycle.max(self.line_ready);
+        // Back-pressure: fetch cannot run more than the fetch queue ahead
+        // of issue.
+        f = f.max(self.last_issue.saturating_sub(FETCH_QUEUE));
+        // Fetch bandwidth.
+        if f == self.fetch_bw_cycle && self.fetch_bw_count >= self.fetch_width {
+            f += 1;
+        }
+        if f != self.fetch_bw_cycle {
+            self.fetch_bw_cycle = f;
+            self.fetch_bw_count = 0;
+        }
+        self.fetch_bw_count += 1;
+        self.fetch_cycle = f;
+        f
+    }
+
+    /// Finds the first cycle at or after `earliest` with a compatible
+    /// issue slot, and occupies it.
+    fn take_slot(&mut self, earliest: u64, class: InstClass) -> u64 {
+        let mut c = earliest;
+        loop {
+            if self.slots.cycle != c {
+                self.slots = IssueSlots {
+                    cycle: c,
+                    ..IssueSlots::default()
+                };
+            }
+            let s = &self.slots;
+            let mut ok = s.total < self.issue_width;
+            match class {
+                InstClass::Load | InstClass::Store => ok &= s.mem < self.mem_per_cycle,
+                k if k.is_branch() => ok &= s.branch < 1,
+                InstClass::IntMul | InstClass::IntDiv => {
+                    ok &= s.mul_div < 1;
+                    if class == InstClass::IntDiv && self.div_blocking {
+                        ok &= c >= self.int_div_free;
+                    }
+                }
+                k if k.is_fp_or_simd() => {
+                    ok &= s.fp < self.fp_units;
+                    if matches!(class, InstClass::FpDiv | InstClass::FpSqrt) && self.div_blocking
+                    {
+                        ok &= c >= self.fp_div_free;
+                    }
+                }
+                InstClass::IntAlu => ok &= s.alu < self.int_alu_units,
+                _ => {}
+            }
+            if ok {
+                let s = &mut self.slots;
+                s.total += 1;
+                match class {
+                    InstClass::Load | InstClass::Store => s.mem += 1,
+                    k if k.is_branch() => s.branch += 1,
+                    InstClass::IntMul | InstClass::IntDiv => s.mul_div += 1,
+                    k if k.is_fp_or_simd() => s.fp += 1,
+                    InstClass::IntAlu => s.alu += 1,
+                    _ => {}
+                }
+                return c;
+            }
+            c = (c + 1).max(if class == InstClass::IntDiv && self.div_blocking {
+                self.int_div_free
+            } else {
+                0
+            });
+        }
+    }
+
+    fn drain_store_buffer(&mut self, upto: u64) {
+        while let Some(&front) = self.store_buffer.front() {
+            if front <= upto {
+                self.store_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl CoreModel for InOrderCore {
+    fn consume(&mut self, inst: &DynInst, mem: &mut MemoryHierarchy) {
+        let class = inst.stat.class;
+        if class == InstClass::Halt {
+            return;
+        }
+        self.stats.instructions += 1;
+
+        let f = self.fetch(inst.pc, mem);
+        let mut earliest = (f + self.frontend_depth).max(self.last_issue);
+
+        // Register dependences.
+        for &src in inst.stat.sources() {
+            earliest = earliest.max(self.reg_ready[src.index()]);
+        }
+
+        // A full store buffer stalls the next store until its head drains;
+        // barriers wait for it to empty.
+        if class == InstClass::Store {
+            self.drain_store_buffer(earliest);
+            if self.store_buffer.len() >= self.store_buffer_cap {
+                earliest = earliest.max(*self.store_buffer.front().expect("full buffer"));
+                self.drain_store_buffer(earliest);
+            }
+        } else if class == InstClass::Barrier {
+            if let Some(&last) = self.store_buffer.back() {
+                earliest = earliest.max(last);
+            }
+            self.store_buffer.clear();
+        }
+
+        let issue = self.take_slot(earliest, class);
+        self.last_issue = issue;
+
+        // Execute.
+        let complete = match class {
+            InstClass::Load => {
+                self.stats.loads += 1;
+                let r = mem.access(MemOp::Load, inst.ea, inst.pc, issue);
+                r.ready_at(issue)
+            }
+            InstClass::Store => {
+                self.stats.stores += 1;
+                // The store retires immediately into the store buffer; the
+                // buffer drains to the hierarchy in order, pipelined one
+                // per cycle.
+                let drain = self.store_drain.max(issue + 1);
+                let r = mem.access(MemOp::Store, inst.ea, inst.pc, drain);
+                self.store_drain = drain + 1;
+                self.store_buffer.push_back(r.ready_at(drain));
+                issue + 1
+            }
+            c if c.is_branch() => {
+                let resolve = issue + self.lat.of(c);
+                match self.branch_unit.resolve(inst) {
+                    BranchResolution::Mispredict => {
+                        self.fetch_cycle = resolve + self.branch_unit.mispredict_penalty;
+                        self.cur_line = u64::MAX; // refetch after the flush
+                    }
+                    BranchResolution::BtbMiss => {
+                        self.fetch_cycle =
+                            self.fetch_cycle.max(f + 1 + self.branch_unit.btb_miss_penalty);
+                    }
+                    BranchResolution::Correct => {}
+                }
+                resolve
+            }
+            other => issue + self.lat.of(other),
+        };
+
+        // Blocking dividers hold their unit.
+        if self.div_blocking {
+            if class == InstClass::IntDiv {
+                self.int_div_free = complete;
+            } else if matches!(class, InstClass::FpDiv | InstClass::FpSqrt) {
+                self.fp_div_free = complete;
+            }
+        }
+
+        for &dst in inst.stat.dests() {
+            self.reg_ready[dst.index()] = complete;
+        }
+        self.stats.cycles = self.stats.cycles.max(complete);
+    }
+
+    fn finish(&mut self, _mem: &mut MemoryHierarchy) {
+        if let Some(&last) = self.store_buffer.back() {
+            self.stats.cycles = self.stats.cycles.max(last);
+        }
+        self.store_buffer.clear();
+        self.stats.branch = self.branch_unit.stats();
+    }
+
+    fn stats(&self) -> CoreStats {
+        let mut s = self.stats;
+        s.branch = self.branch_unit.stats();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_decoder::Decoder;
+    use racesim_isa::asm::Asm;
+    use racesim_mem::HierarchyConfig;
+
+    /// Assembles, then turns each instruction into a `DynInst` with the
+    /// given dynamic info (sequential pcs, no memory/branches unless set).
+    fn dyns(f: impl FnOnce(&mut Asm)) -> Vec<DynInst> {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = a.finish();
+        let d = Decoder::new();
+        p.code
+            .iter()
+            .enumerate()
+            .map(|(i, w)| DynInst {
+                pc: p.pc_of(i),
+                stat: d.decode(*w).unwrap(),
+                ea: 0,
+                taken: false,
+                target: 0,
+            })
+            .collect()
+    }
+
+    /// Runs with a pre-warmed instruction footprint, so tests measure the
+    /// back-end effect under study rather than cold I-cache misses.
+    fn run(insts: &[DynInst]) -> (CoreStats, MemoryHierarchy) {
+        let mut core = InOrderCore::new(&CoreConfig::in_order_default());
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in insts {
+            mem.prefill_code(i.pc);
+        }
+        for i in insts {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        (core.stats(), mem)
+    }
+
+    /// Runs fully cold (for the I-cache test).
+    fn run_cold(insts: &[DynInst]) -> (CoreStats, MemoryHierarchy) {
+        let mut core = InOrderCore::new(&CoreConfig::in_order_default());
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in insts {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        (core.stats(), mem)
+    }
+
+    #[test]
+    fn independent_alu_ops_dual_issue() {
+        // 100 independent adds: with dual issue, ~0.5 CPI steady state.
+        let insts = dyns(|a| {
+            for i in 0..100u8 {
+                a.addi(Reg::x(i % 20), Reg::XZR, 1);
+            }
+        });
+        let (s, _) = run(&insts);
+        assert!(s.cpi() < 0.8, "dual issue should be near 0.5: {}", s.cpi());
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        // x0 += 1 chain: 1 op/cycle minimum.
+        let insts = dyns(|a| {
+            for _ in 0..100 {
+                a.addi(Reg::x(0), Reg::x(0), 1);
+            }
+        });
+        let (s, _) = run(&insts);
+        assert!(s.cpi() >= 0.99, "serial chain is >= 1 CPI: {}", s.cpi());
+        assert!(s.cpi() < 1.3);
+    }
+
+    #[test]
+    fn divides_are_slow_and_block() {
+        let insts = dyns(|a| {
+            a.movz(Reg::x(1), 1000);
+            a.movz(Reg::x(2), 3);
+            for _ in 0..20 {
+                a.udiv(Reg::x(3), Reg::x(1), Reg::x(2)); // independent divs
+            }
+        });
+        let (s, _) = run(&insts);
+        // Each div blocks the divider for its ~12-cycle latency.
+        assert!(s.cpi() > 8.0, "blocking divider: {}", s.cpi());
+    }
+
+    #[test]
+    fn fp_chain_pays_fp_latency() {
+        let insts = dyns(|a| {
+            for _ in 0..50 {
+                a.fadd(Reg::v(0), Reg::v(0), Reg::v(1));
+            }
+        });
+        let (s, _) = run(&insts);
+        // fp_add latency is 4 in the A53 table.
+        assert!(s.cpi() > 3.5, "fp chain CPI: {}", s.cpi());
+    }
+
+    #[test]
+    fn load_misses_dominate_dependent_loads() {
+        // Pointer-chase-like: each load depends on the previous (through
+        // x1) and strides far apart so every access misses.
+        let mut insts = dyns(|a| {
+            for _ in 0..50 {
+                a.ldr8(Reg::x(1), Reg::x(1), 0);
+            }
+        });
+        for (k, i) in insts.iter_mut().enumerate() {
+            i.ea = 0x10_0000 + (k as u64) * 8192;
+        }
+        let (s, mem) = run(&insts);
+        assert!(s.cpi() > 100.0, "DRAM-bound chase: {}", s.cpi());
+        assert!(mem.stats().l1d.misses >= 49);
+    }
+
+    #[test]
+    fn l1_hits_are_cheap_for_independent_loads() {
+        let mut insts = dyns(|a| {
+            for i in 0..64u8 {
+                a.ldr8(Reg::x(2 + (i % 8)), Reg::x(1), 0);
+            }
+        });
+        for i in insts.iter_mut() {
+            i.ea = 0x9000; // same line: hits after the first
+        }
+        let (s, _) = run(&insts);
+        assert!(s.cpi() < 3.0, "independent hitting loads: {}", s.cpi());
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_the_flush() {
+        // One static branch executed 200 times (as in a loop), either
+        // always not-taken (learnable) or pseudo-randomly taken
+        // (mispredicted about half the time by any predictor).
+        let mk = |random: bool| {
+            let body = dyns(|a| {
+                a.cmpi(Reg::x(1), 0);
+                let l = a.here();
+                a.bcond(racesim_isa::Cond::Ne, l);
+            });
+            let mut insts = Vec::new();
+            let mut lfsr = 0xACE1u32;
+            for _ in 0..200 {
+                let mut cmp = body[0];
+                let mut br = body[1];
+                lfsr = lfsr.wrapping_mul(1103515245).wrapping_add(12345);
+                br.taken = random && (lfsr >> 16) & 1 == 1;
+                br.target = br.fallthrough();
+                cmp.ea = 0;
+                insts.push(cmp);
+                insts.push(br);
+            }
+            insts
+        };
+        let (s_easy, _) = run(&mk(false));
+        let (s_hard, _) = run(&mk(true));
+        assert!(
+            s_hard.cpi() > s_easy.cpi() + 0.5,
+            "mispredicts must hurt: easy {} vs hard {}",
+            s_easy.cpi(),
+            s_hard.cpi()
+        );
+        assert!(s_hard.branch.mispredicts > 50);
+    }
+
+    #[test]
+    fn store_bursts_fill_the_buffer() {
+        let mut insts = dyns(|a| {
+            for _ in 0..64 {
+                a.str8(Reg::x(1), Reg::x(2), 0);
+            }
+        });
+        // Strided misses so each store drain is slow.
+        for (k, i) in insts.iter_mut().enumerate() {
+            i.ea = 0x40_0000 + (k as u64) * 4096;
+        }
+        let (s, _) = run(&insts);
+        assert!(
+            s.cpi() > 5.0,
+            "store buffer backpressure on missing stores: {}",
+            s.cpi()
+        );
+        assert_eq!(s.stores, 64);
+    }
+
+    #[test]
+    fn barrier_waits_for_stores() {
+        let mut insts = dyns(|a| {
+            a.str8(Reg::x(1), Reg::x(2), 0);
+            a.dsb();
+            a.addi(Reg::x(3), Reg::XZR, 1);
+        });
+        insts[0].ea = 0x80_0000; // miss: slow drain
+        let (s, _) = run(&insts);
+        assert!(s.cycles > 100, "dsb drains the missing store: {}", s.cycles);
+    }
+
+    #[test]
+    fn icache_misses_stall_fetch() {
+        // Straight-line code spanning many lines, executed once: every
+        // line is a cold I$ miss.
+        let insts = dyns(|a| {
+            for _ in 0..512 {
+                a.nop();
+            }
+        });
+        let (s, mem) = run_cold(&insts);
+        assert!(mem.stats().l1i.misses >= 31, "{:?}", mem.stats().l1i);
+        assert!(s.cpi() > 2.0, "cold icache hurts: {}", s.cpi());
+    }
+
+    #[test]
+    fn halt_is_ignored() {
+        let insts = dyns(|a| {
+            a.nop();
+            a.halt();
+        });
+        let (s, _) = run(&insts);
+        assert_eq!(s.instructions, 1);
+    }
+}

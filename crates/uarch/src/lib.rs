@@ -1,0 +1,47 @@
+//! # racesim-uarch
+//!
+//! Core timing models: the project's equivalent of the "novel timing
+//! contention models for in-order and out-of-order ARM cores" the paper
+//! adds to Sniper (Section IV).
+//!
+//! The crate provides:
+//!
+//! * a configurable **branch prediction unit** ([`branch`]): static,
+//!   bimodal, gshare and tournament direction predictors, a BTB, a
+//!   return-address stack, and optional path-history **indirect branch
+//!   prediction** (the component the paper adds after micro-benchmark
+//!   `CS1` exposed its absence);
+//! * per-class **execution latencies** ([`LatencyTable`]) and functional
+//!   unit/issue **contention** rules;
+//! * an **in-order, dual-issue core model** ([`InOrderCore`]) patterned
+//!   after the Cortex-A53;
+//! * an **out-of-order core model** ([`OooCore`]) patterned after the
+//!   Cortex-A72: dispatch width, ROB, issue queue, per-port functional
+//!   units, load/store queues and store-to-load forwarding.
+//!
+//! Both models are *streaming*: they consume one decoded dynamic
+//! instruction at a time (O(1) work each) and track cycle-accurate
+//! resource and dependence constraints, in the spirit of Sniper's
+//! high-abstraction "interval" core models — cycle-level accounting
+//! without cycle-by-cycle iteration.
+//!
+//! Everything structural hangs off [`CoreConfig`], which is what the
+//! racing tuner mutates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+mod config;
+mod core_model;
+mod inorder;
+mod latency;
+mod ooo;
+mod stats;
+
+pub use config::{CoreConfig, CoreKind, FrontendConfig, InOrderParams, OooParams, PortCounts};
+pub use core_model::CoreModel;
+pub use inorder::InOrderCore;
+pub use latency::LatencyTable;
+pub use ooo::OooCore;
+pub use stats::CoreStats;

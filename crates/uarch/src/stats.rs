@@ -1,0 +1,70 @@
+//! Core-side statistics.
+
+use crate::branch::BranchStats;
+
+/// Statistics reported by a core timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Dynamic instructions timed.
+    pub instructions: u64,
+    /// Total cycles from first fetch to last retire.
+    pub cycles: u64,
+    /// Branch unit counters.
+    pub branch: BranchStats,
+    /// Dynamic loads issued.
+    pub loads: u64,
+    /// Dynamic stores issued.
+    pub stores: u64,
+    /// Loads whose value was forwarded from an in-flight store
+    /// (out-of-order model only).
+    pub stlf_hits: u64,
+}
+
+impl CoreStats {
+    /// Cycles per instruction; 0 when no instructions ran.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle; 0 when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch.mispredicts as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CoreStats {
+            instructions: 1000,
+            cycles: 2000,
+            ..CoreStats::default()
+        };
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        let empty = CoreStats::default();
+        assert_eq!(empty.cpi(), 0.0);
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.branch_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests on the core timing models.
+
+use proptest::prelude::*;
+use racesim_decoder::Decoder;
+use racesim_isa::{asm::Asm, DynInst, MemWidth, Reg};
+use racesim_mem::{HierarchyConfig, MemoryHierarchy};
+use racesim_uarch::{CoreConfig, CoreModel, InOrderCore, OooCore};
+
+/// A small static program whose instructions we re-sequence dynamically.
+fn static_pool() -> Vec<DynInst> {
+    let mut a = Asm::new();
+    a.addi(Reg::x(1), Reg::x(1), 1); // 0: dependent chain
+    a.add(Reg::x(2), Reg::x(3), Reg::x(4)); // 1: independent
+    a.mul(Reg::x(5), Reg::x(1), Reg::x(2)); // 2
+    a.udiv(Reg::x(6), Reg::x(5), Reg::x(2)); // 3
+    a.fadd(Reg::v(0), Reg::v(1), Reg::v(2)); // 4
+    a.ldr(MemWidth::B8, Reg::x(7), Reg::x(8), Reg::XZR, 0); // 5
+    a.str8(Reg::x(7), Reg::x(9), 0); // 6
+    a.cmpi(Reg::x(1), 100); // 7
+    let l = a.here();
+    a.bcond(racesim_isa::Cond::Ne, l); // 8
+    a.dsb(); // 9
+    let p = a.finish();
+    let d = Decoder::new();
+    p.code
+        .iter()
+        .enumerate()
+        .map(|(i, w)| DynInst {
+            pc: p.pc_of(i),
+            stat: d.decode(*w).unwrap(),
+            ea: 0,
+            taken: false,
+            target: 0,
+        })
+        .collect()
+}
+
+fn build_stream(choices: &[(usize, u64, bool)]) -> Vec<DynInst> {
+    let pool = static_pool();
+    choices
+        .iter()
+        .map(|(idx, addr, taken)| {
+            let mut d = pool[*idx];
+            if d.stat.is_memory() {
+                d.ea = 0x10_0000 + (addr & 0xFFFF_F8);
+            }
+            if d.stat.is_branch() {
+                d.taken = *taken;
+                d.target = d.fallthrough(); // loop branch back to itself
+            }
+            d
+        })
+        .collect()
+}
+
+fn run(core: &mut dyn CoreModel, insts: &[DynInst]) -> u64 {
+    let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+    for i in insts {
+        core.consume(i, &mut mem);
+    }
+    core.finish(&mut mem);
+    core.stats().cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both cores accept any dynamic sequence without panicking, count
+    /// instructions exactly, and keep branch counters consistent.
+    #[test]
+    fn cores_are_total_and_consistent(
+        choices in proptest::collection::vec((0usize..10, any::<u64>(), any::<bool>()), 1..300)
+    ) {
+        let insts = build_stream(&choices);
+        for kind in 0..2 {
+            let mut core: Box<dyn CoreModel> = if kind == 0 {
+                Box::new(InOrderCore::new(&CoreConfig::in_order_default()))
+            } else {
+                Box::new(OooCore::new(&CoreConfig::out_of_order_default()))
+            };
+            let cycles = run(core.as_mut(), &insts);
+            let s = core.stats();
+            prop_assert_eq!(s.instructions, insts.len() as u64);
+            prop_assert!(cycles >= 1);
+            prop_assert!(s.branch.mispredicts <= s.branch.branches);
+            prop_assert!(s.loads + s.stores <= s.instructions);
+        }
+    }
+
+    /// Appending instructions never makes the program finish earlier
+    /// (cycle counts are monotone in the stream prefix).
+    #[test]
+    fn cycles_are_monotone_in_prefix(
+        choices in proptest::collection::vec((0usize..10, any::<u64>(), any::<bool>()), 2..150),
+        cut in 1usize..100,
+    ) {
+        let insts = build_stream(&choices);
+        let cut = cut.min(insts.len() - 1);
+        for kind in 0..2 {
+            let (full, prefix) = if kind == 0 {
+                (
+                    run(&mut InOrderCore::new(&CoreConfig::in_order_default()), &insts),
+                    run(&mut InOrderCore::new(&CoreConfig::in_order_default()), &insts[..cut]),
+                )
+            } else {
+                (
+                    run(&mut OooCore::new(&CoreConfig::out_of_order_default()), &insts),
+                    run(&mut OooCore::new(&CoreConfig::out_of_order_default()), &insts[..cut]),
+                )
+            };
+            prop_assert!(prefix <= full, "prefix {prefix} > full {full} (kind {kind})");
+        }
+    }
+}

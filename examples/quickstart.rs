@@ -1,0 +1,66 @@
+//! Quickstart: hardware-validate the in-order (Cortex-A53-like) model.
+//!
+//! This walks the paper's Figure-1 methodology end to end at a small
+//! scale: latency probes on the "board", a racing-tuner run over the
+//! 40-kernel micro-benchmark suite, and the step-5 per-component
+//! analysis.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use racesim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "hardware": a black box that runs workloads and returns perf
+    // counters. Its internal configuration is hidden, as on a real board.
+    let board = ReferenceBoard::firefly_a53();
+    println!("board: {}", board.name());
+
+    // A quick validation: tiny benchmark scale, small tuning budget.
+    let mut settings = ValidatorSettings::quick(CoreKind::InOrder);
+    settings.tuner.budget = 1_200;
+    settings.tuner.threads = std::thread::available_parallelism()?.get();
+    let validator = Validator::new(&board, settings);
+
+    println!("running steps 1-4 (public info, lmbench probes, racing)...");
+    let outcome = validator.run()?;
+
+    println!(
+        "\nmean absolute CPI error: {:>5.1}% untuned  ->  {:>5.1}% tuned  ({} evaluations)",
+        outcome.untuned_mean_error(),
+        outcome.tuned_mean_error(),
+        outcome.tune.evals_used,
+    );
+
+    // Per-benchmark errors, Figure-4 style.
+    let rows: Vec<(String, f64)> = outcome
+        .tuned_results
+        .iter()
+        .map(|r| (r.name.clone(), r.error_pct()))
+        .collect();
+    println!("\nper-benchmark CPI error (tuned):");
+    print!("{}", report::bar_chart(&rows, 40, "%"));
+
+    // Step 5: which components still need work?
+    let analysis = analysis::analyse(&outcome.tuned_results);
+    println!("\nstep-5 component analysis:");
+    for c in &analysis.categories {
+        println!(
+            "  {:<14} mean {:>5.1}%   worst {} ({:.1}%)",
+            c.category.to_string(),
+            c.mean_error,
+            c.worst_bench,
+            c.worst_error
+        );
+    }
+    if analysis.needs_another_round() {
+        println!("\nrecommendations:");
+        for r in &analysis.recommendations {
+            println!("  - {r}");
+        }
+    } else {
+        println!("\nno component exceeds the attention threshold — model validated.");
+    }
+
+    println!("\nwinning configuration:\n  {}", outcome.best.render(&outcome.space));
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Cross-crate property tests on core invariants.
+
+use proptest::prelude::*;
+use racesim::isa::{asm::Asm, Reg};
+use racesim::prelude::*;
+use racesim::trace::{TraceBuffer, TraceRecord};
+
+/// Builds a random but well-formed straight-line trace over a handful of
+/// static instructions.
+fn arb_trace() -> impl Strategy<Value = TraceBuffer> {
+    // Static program: add, load, store, plus a conditional branch target.
+    let mut a = Asm::new();
+    a.addi(Reg::x(1), Reg::x(1), 1); // 0
+    a.ldr8(Reg::x(2), Reg::x(3), 0); // 1
+    a.str8(Reg::x(2), Reg::x(4), 0); // 2
+    a.cmpi(Reg::x(1), 5); // 3
+    let l = a.here();
+    a.bcond(racesim::isa::Cond::Ne, l); // 4
+    let p = a.finish();
+
+    (
+        proptest::collection::vec((0usize..5, 0u64..1 << 20, any::<bool>()), 1..400),
+        Just(p),
+    )
+        .prop_map(|(steps, p)| {
+            let mut t = TraceBuffer::new();
+            for (idx, addr, taken) in steps {
+                let pc = p.pc_of(idx);
+                let w = p.code[idx];
+                let rec = match idx {
+                    1 | 2 => TraceRecord::memory(pc, w, 0x10_0000 + (addr & !7)),
+                    4 => TraceRecord::branch(pc, w, taken, p.pc_of(0)),
+                    _ => TraceRecord::plain(pc, w),
+                };
+                racesim::trace::TraceSink::push(&mut t, rec).unwrap();
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any well-formed trace simulates without panicking on both cores,
+    /// and basic accounting invariants hold.
+    #[test]
+    fn simulators_accept_arbitrary_wellformed_traces(trace in arb_trace()) {
+        for platform in [Platform::a53_like(), Platform::a72_like()] {
+            let stats = Simulator::new(platform).run(&trace).unwrap();
+            prop_assert_eq!(stats.core.instructions, trace.len() as u64);
+            prop_assert!(stats.core.cycles >= 1);
+            // No core retires more than its theoretical width each cycle —
+            // CPI can never drop below 1/4 with these configs.
+            prop_assert!(stats.cpi() >= 0.25, "cpi {}", stats.cpi());
+            // Branch counters are consistent.
+            prop_assert!(stats.core.branch.mispredicts <= stats.core.branch.branches);
+        }
+    }
+
+    /// The memory hierarchy's counters stay consistent for any access mix.
+    #[test]
+    fn hierarchy_counters_are_consistent(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1 << 22), 1..500)
+    ) {
+        use racesim::mem::{HierarchyConfig, MemOp, MemoryHierarchy};
+        let mut m = MemoryHierarchy::new(&HierarchyConfig::default());
+        let mut cycle = 0;
+        for (is_store, addr) in &ops {
+            let op = if *is_store { MemOp::Store } else { MemOp::Load };
+            let r = m.access(op, *addr, 0x1000, cycle);
+            prop_assert!(r.latency >= 1);
+            cycle += 10;
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.l1d.accesses, ops.len() as u64);
+        prop_assert_eq!(s.l1d.hits + s.l1d.misses, s.l1d.accesses);
+        prop_assert!(s.l2.accesses >= s.l1d.misses.saturating_sub(s.l2.prefetch_fills));
+    }
+
+    /// Tuner configurations produced by the sampling model always apply
+    /// cleanly to a platform (no panics, all fields in range).
+    #[test]
+    fn sampled_configurations_always_apply(seed in any::<u64>()) {
+        use racesim::core::params::{apply, build_space};
+        use racesim::race::SamplingModel;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let space = build_space(CoreKind::OutOfOrder, racesim::core::Revision::Fixed);
+        let model = SamplingModel::new(&space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = model.sample(&space, &mut rng);
+        let p = apply(&space, &cfg, &Platform::a72_like());
+        // The resulting platform must be constructible.
+        let _ = Simulator::new(p);
+    }
+}
