@@ -1,0 +1,597 @@
+//! Kernel static analysis: catches specification errors in the benchmark
+//! programs themselves, before any cycle is simulated.
+//!
+//! Three checks run over a [`Program`]:
+//!
+//! * **Def-before-use on data regions** ([`Lint::KernelUninitRead`]) — a
+//!   region-granularity abstract interpretation finds loads from reserved
+//!   regions that nothing initialises: no data image covers them, no store
+//!   in the program writes them, and the assembler recorded them as
+//!   uninitialised. This is exactly the paper's "couple memory-intensive
+//!   micro-benchmarks \[that\] access an uninitialized array" hazard,
+//!   caught without running the kernel.
+//! * **Reachability** ([`Lint::KernelUnreachable`]) — instructions no
+//!   control-flow path from the entry can ever execute.
+//! * **Branch-target range** ([`Lint::KernelBranchOutOfRange`]) — direct
+//!   branches whose resolved target lies outside the code segment.
+//!
+//! The abstract domain is deliberately coarse: a register holds either a
+//! known constant, a pointer into one specific reserved region, or an
+//! unknown value. Pointers formed from a region's base are assumed to stay
+//! inside that region (kernels mask their offsets, so this matches how the
+//! suite is written); stores anywhere into a region count as initialising
+//! the whole region. Both approximations err toward silence — the pass
+//! reports only loads it can prove target a never-initialised region.
+
+use crate::diag::{Diagnostic, Lint};
+use racesim_decoder::Decoder;
+use racesim_isa::{Opcode, Program, Reg, INST_BYTES};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Abstract value of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// A known 64-bit constant.
+    Const(u64),
+    /// A pointer somewhere inside reserved region `idx`.
+    Region(usize),
+    /// Anything.
+    Top,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal, prog: &Program) -> AbsVal {
+        if self == other {
+            return self;
+        }
+        // Two different constants inside the same region still identify
+        // that region; so does a constant joined with its region.
+        let r1 = self.region(prog);
+        let r2 = other.region(prog);
+        match (r1, r2) {
+            (Some(a), Some(b)) if a == b => AbsVal::Region(a),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// The reserved region this value points into, if any.
+    fn region(self, prog: &Program) -> Option<usize> {
+        match self {
+            AbsVal::Region(r) => Some(r),
+            AbsVal::Const(c) => prog.reserved.iter().position(|r| r.contains(c)),
+            AbsVal::Top => None,
+        }
+    }
+}
+
+/// Per-instruction entry state: one abstract value per register slot.
+type State = Box<[AbsVal]>;
+
+struct Analysis<'a> {
+    prog: &'a Program,
+    /// Decoded opcode per instruction (`None` if the word is undecodable).
+    ops: Vec<Option<Opcode>>,
+    /// Entry state per instruction (`None` = not reached yet).
+    states: Vec<Option<State>>,
+    /// Code indices a `br`/`blr` may jump to (pointer tables and patched
+    /// `movz` address loads).
+    indirect_targets: Vec<usize>,
+}
+
+fn reg_val(state: &State, bits: u8) -> AbsVal {
+    if bits as usize == Reg::XZR.index() {
+        AbsVal::Const(0)
+    } else {
+        state[bits as usize]
+    }
+}
+
+fn set_reg(state: &mut State, bits: u8, v: AbsVal) {
+    let i = bits as usize;
+    if i != Reg::XZR.index() && i < state.len() {
+        state[i] = v;
+    }
+}
+
+impl<'a> Analysis<'a> {
+    fn new(prog: &'a Program) -> Analysis<'a> {
+        let dec = Decoder::new();
+        let ops = prog
+            .code
+            .iter()
+            .map(|w| dec.decode(*w).ok().map(|s| s.opcode))
+            .collect();
+        let mut a = Analysis {
+            prog,
+            ops,
+            states: vec![None; prog.code.len()],
+            indirect_targets: Vec::new(),
+        };
+        a.collect_indirect_targets();
+        a
+    }
+
+    /// Candidate targets for indirect branches: code addresses stored in
+    /// data blobs (jump/function-pointer tables) and `movz` immediates
+    /// that name a code address (patched `load_label_addr`).
+    fn collect_indirect_targets(&mut self) {
+        let mut targets = BTreeSet::new();
+        for (_, bytes) in &self.prog.data {
+            for chunk in bytes.chunks_exact(8) {
+                let word = u64::from_le_bytes(chunk.try_into().unwrap());
+                if let Some(idx) = self.prog.index_of(word) {
+                    targets.insert(idx);
+                }
+            }
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if *op == Some(Opcode::Movz) {
+                let imm = self.prog.code[i].imm();
+                if imm > 0 {
+                    if let Some(idx) = self.prog.index_of(imm as u64) {
+                        targets.insert(idx);
+                    }
+                }
+            }
+        }
+        self.indirect_targets = targets.into_iter().collect();
+    }
+
+    /// Resolved direct-branch target, if the opcode is a direct branch.
+    fn direct_target(&self, idx: usize) -> Option<i64> {
+        match self.ops[idx] {
+            Some(Opcode::B | Opcode::Bcond | Opcode::Cbz | Opcode::Cbnz | Opcode::Bl) => {
+                Some(idx as i64 + self.prog.code[idx].imm())
+            }
+            _ => None,
+        }
+    }
+
+    /// Static successors of instruction `idx`, clipped to the code range.
+    fn successors(&self, idx: usize) -> Vec<usize> {
+        let n = self.prog.code.len();
+        let mut succ = Vec::with_capacity(2);
+        let push = |i: i64, v: &mut Vec<usize>| {
+            if i >= 0 && (i as usize) < n {
+                v.push(i as usize);
+            }
+        };
+        match self.ops[idx] {
+            Some(Opcode::Halt) | Some(Opcode::Ret) => {}
+            Some(Opcode::B) => push(self.direct_target(idx).unwrap(), &mut succ),
+            Some(Opcode::Bcond | Opcode::Cbz | Opcode::Cbnz | Opcode::Bl) => {
+                push(self.direct_target(idx).unwrap(), &mut succ);
+                push(idx as i64 + 1, &mut succ);
+            }
+            Some(Opcode::Br) => succ.extend(self.indirect_targets.iter().copied()),
+            Some(Opcode::Blr) => {
+                succ.extend(self.indirect_targets.iter().copied());
+                push(idx as i64 + 1, &mut succ);
+            }
+            _ => push(idx as i64 + 1, &mut succ),
+        }
+        succ
+    }
+
+    /// Applies instruction `idx` to `state`.
+    fn transfer(&self, idx: usize, state: &mut State) {
+        let Some(op) = self.ops[idx] else { return };
+        let w = self.prog.code[idx];
+        let (rd, rn, rm, imm) = (w.rd_bits(), w.rn_bits(), w.rm_bits(), w.imm());
+        let prog = self.prog;
+        use AbsVal::*;
+        use Opcode::*;
+        match op {
+            Nop | Dsb | Halt | Cmp | CmpI | B | Bcond | Cbz | Cbnz | Br | Ret => {}
+            Movz => set_reg(state, rd, Const(imm as u64)),
+            Movk => {
+                let slot = (w.aux() & 0x3) as u32;
+                let v = match reg_val(state, rn) {
+                    Const(c) => {
+                        Const((c & !(0xffffu64 << (16 * slot))) | ((imm as u64) << (16 * slot)))
+                    }
+                    _ => Top,
+                };
+                set_reg(state, rd, v);
+            }
+            Add | Sub => {
+                let (a, b) = (reg_val(state, rn), reg_val(state, rm));
+                let v = match (a, b) {
+                    (Const(x), Const(y)) if op == Add => Const(x.wrapping_add(y)),
+                    (Const(x), Const(y)) => Const(x.wrapping_sub(y)),
+                    // Pointer arithmetic keeps the region taint.
+                    _ => match (a.region(prog), b.region(prog)) {
+                        (Some(r), None) => Region(r),
+                        (None, Some(r)) if op == Add => Region(r),
+                        _ => Top,
+                    },
+                };
+                set_reg(state, rd, v);
+            }
+            AddI | SubI => {
+                let a = reg_val(state, rn);
+                let v = match a {
+                    Const(x) if op == AddI => Const(x.wrapping_add(imm as u64)),
+                    Const(x) => Const(x.wrapping_sub(imm as u64)),
+                    _ => match a.region(prog) {
+                        Some(r) => Region(r),
+                        None => Top,
+                    },
+                };
+                set_reg(state, rd, v);
+            }
+            And => {
+                // Masking an offset register: constants stay exact; a
+                // masked pointer stays in its region (masks here implement
+                // power-of-two wraparound within a buffer).
+                let (a, b) = (reg_val(state, rn), reg_val(state, rm));
+                let v = match (a, b) {
+                    (Const(x), Const(y)) => Const(x & y),
+                    _ => match (a.region(prog), b.region(prog)) {
+                        (Some(r), _) | (_, Some(r)) => Region(r),
+                        _ => Top,
+                    },
+                };
+                set_reg(state, rd, v);
+            }
+            Orr => {
+                // `mov rd, rn` is assembled as `orr rd, rn, xzr`.
+                let (a, b) = (reg_val(state, rn), reg_val(state, rm));
+                let v = match (a, b) {
+                    (Const(x), Const(y)) => Const(x | y),
+                    (x, Const(0)) => x,
+                    (Const(0), y) => y,
+                    _ => Top,
+                };
+                set_reg(state, rd, v);
+            }
+            Eor | Mul | Udiv | Sdiv => {
+                let v = match (reg_val(state, rn), reg_val(state, rm)) {
+                    (Const(x), Const(y)) => Const(match op {
+                        Eor => x ^ y,
+                        Mul => x.wrapping_mul(y),
+                        Udiv => x.checked_div(y).unwrap_or(0),
+                        _ => {
+                            if y == 0 {
+                                0
+                            } else {
+                                (x as i64).wrapping_div(y as i64) as u64
+                            }
+                        }
+                    }),
+                    _ => Top,
+                };
+                set_reg(state, rd, v);
+            }
+            Lsl | Lsr | Asr => {
+                let v = match reg_val(state, rn) {
+                    Const(x) => Const(match op {
+                        Lsl => x.wrapping_shl(imm as u32),
+                        Lsr => x.wrapping_shr(imm as u32),
+                        _ => ((x as i64).wrapping_shr(imm as u32)) as u64,
+                    }),
+                    _ => Top,
+                };
+                set_reg(state, rd, v);
+            }
+            Csel => {
+                let v = reg_val(state, rn).join(reg_val(state, rm), prog);
+                set_reg(state, rd, v);
+            }
+            Ldr => set_reg(state, rd, Top),
+            Str => {}
+            Bl | Blr => set_reg(
+                state,
+                Reg::LR.index() as u8,
+                Const(prog.pc_of(idx) + INST_BYTES),
+            ),
+            // FP/SIMD results are never used as addresses.
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Scvtf | Fcvtzs | Fmov | FmovI | Vadd | Vmul
+            | Vfadd | Vfmul | Vfma => set_reg(state, rd, Top),
+        }
+    }
+
+    /// The region a memory instruction's effective address resolves to.
+    fn ea_region(&self, idx: usize, state: &State) -> Option<usize> {
+        let w = self.prog.code[idx];
+        let (base, off) = (reg_val(state, w.rn_bits()), reg_val(state, w.rm_bits()));
+        use AbsVal::*;
+        match (base, off) {
+            (Const(b), Const(o)) => {
+                let addr = b.wrapping_add(o).wrapping_add(w.imm() as u64);
+                Const(addr).region(self.prog)
+            }
+            _ => match (base.region(self.prog), off.region(self.prog)) {
+                (Some(r), None) | (None, Some(r)) => Some(r),
+                _ => None,
+            },
+        }
+    }
+
+    /// Runs the worklist to a fixed point.
+    fn run(&mut self) {
+        if self.prog.code.is_empty() {
+            return;
+        }
+        let mut entry = vec![AbsVal::Const(0); Reg::COUNT].into_boxed_slice();
+        entry[Reg::SP.index()] = AbsVal::Const(racesim_isa::DEFAULT_STACK_TOP);
+        for &(reg, val) in &self.prog.init_regs {
+            set_reg(&mut entry, reg, AbsVal::Const(val));
+        }
+        self.states[0] = Some(entry);
+        let mut work: VecDeque<usize> = VecDeque::from([0]);
+        let mut queued = vec![false; self.prog.code.len()];
+        queued[0] = true;
+        while let Some(idx) = work.pop_front() {
+            queued[idx] = false;
+            let mut out = self.states[idx].clone().expect("queued without state");
+            self.transfer(idx, &mut out);
+            for succ in self.successors(idx) {
+                let changed = match &mut self.states[succ] {
+                    Some(existing) => {
+                        let mut any = false;
+                        for (e, o) in existing.iter_mut().zip(out.iter()) {
+                            let j = e.join(*o, self.prog);
+                            if j != *e {
+                                *e = j;
+                                any = true;
+                            }
+                        }
+                        any
+                    }
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        true
+                    }
+                };
+                if changed && !queued[succ] {
+                    queued[succ] = true;
+                    work.push_back(succ);
+                }
+            }
+        }
+    }
+}
+
+/// Statically analyses one program.
+pub fn check(prog: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_into(prog, &mut out);
+    out
+}
+
+/// Statically analyses one program, appending to `out`.
+pub fn check_into(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut a = Analysis::new(prog);
+
+    // Branch-target range (direct branches only; the assembler patches
+    // offsets, so a violation means a corrupted or hand-built program).
+    for idx in 0..prog.code.len() {
+        if let Some(t) = a.direct_target(idx) {
+            if t < 0 || t as usize >= prog.code.len() {
+                out.push(
+                    Diagnostic::new(
+                        Lint::KernelBranchOutOfRange,
+                        "direct branch target lies outside the code segment",
+                    )
+                    .with("pc", format!("{:#x}", prog.pc_of(idx)))
+                    .with(
+                        "target",
+                        format!("{:#x}", prog.code_base as i64 + t * INST_BYTES as i64),
+                    ),
+                );
+            }
+        }
+    }
+
+    a.run();
+
+    // Unreachable code, aggregated into contiguous runs.
+    let mut run_start: Option<usize> = None;
+    for idx in 0..=prog.code.len() {
+        let dead = idx < prog.code.len() && a.states[idx].is_none();
+        match (dead, run_start) {
+            (true, None) => run_start = Some(idx),
+            (false, Some(start)) => {
+                out.push(
+                    Diagnostic::new(
+                        Lint::KernelUnreachable,
+                        format!("{} instruction(s) unreachable from the entry", idx - start),
+                    )
+                    .with("from", format!("{:#x}", prog.pc_of(start)))
+                    .with("to", format!("{:#x}", prog.pc_of(idx - 1))),
+                );
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+
+    // Def-before-use on reserved regions. A store anywhere into a region
+    // counts as initialising it (region granularity).
+    let mut stored: BTreeSet<usize> = BTreeSet::new();
+    for idx in 0..prog.code.len() {
+        if a.ops[idx] == Some(Opcode::Str) {
+            if let Some(state) = &a.states[idx] {
+                if let Some(r) = a.ea_region(idx, state) {
+                    stored.insert(r);
+                }
+            }
+        }
+    }
+    let mut uninit_loads: BTreeMap<usize, (u64, usize)> = BTreeMap::new();
+    for idx in 0..prog.code.len() {
+        if a.ops[idx] == Some(Opcode::Ldr) {
+            if let Some(state) = &a.states[idx] {
+                if let Some(r) = a.ea_region(idx, state) {
+                    if !prog.reserved[r].initialized && !stored.contains(&r) {
+                        let e = uninit_loads.entry(r).or_insert((prog.pc_of(idx), 0));
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (r, (first_pc, count)) in uninit_loads {
+        let region = &prog.reserved[r];
+        out.push(
+            Diagnostic::new(
+                Lint::KernelUninitRead,
+                "load from a reserved region that nothing initialises \
+                 (the paper's uninitialised-array hazard)",
+            )
+            .with("region", format!("{:#x}", region.addr))
+            .with("bytes", region.len)
+            .with("first_load_pc", format!("{first_pc:#x}"))
+            .with("loads", count),
+        );
+    }
+}
+
+/// Whether the program statically reads uninitialised memory (any
+/// [`Lint::KernelUninitRead`] diagnostic).
+pub fn reads_uninitialized(prog: &Program) -> bool {
+    check(prog).iter().any(|d| d.lint == Lint::KernelUninitRead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_isa::{asm::Asm, EncodedInst, MemWidth};
+
+    fn lints(prog: &Program) -> Vec<Lint> {
+        check(prog).into_iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn load_from_raw_reserve_is_flagged() {
+        let mut a = Asm::new();
+        let region = a.reserve(4096, 64);
+        a.mov64(Reg::x(1), region);
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::XZR, 0);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(lints(&p), vec![Lint::KernelUninitRead]);
+        assert!(reads_uninitialized(&p));
+    }
+
+    #[test]
+    fn initialized_reserve_and_data_blobs_are_silent() {
+        let mut a = Asm::new();
+        let region = a.reserve_initialized(4096, 64);
+        let blob = a.data_u64s(&[1, 2, 3, 4]);
+        a.mov64(Reg::x(1), region);
+        a.mov64(Reg::x(2), blob);
+        a.ldr(MemWidth::B8, Reg::x(3), Reg::x(1), Reg::XZR, 0);
+        a.ldr(MemWidth::B8, Reg::x(4), Reg::x(2), Reg::XZR, 8);
+        a.halt();
+        assert_eq!(lints(&a.finish()), vec![]);
+    }
+
+    #[test]
+    fn a_store_anywhere_into_the_region_counts_as_initialising() {
+        let mut a = Asm::new();
+        let region = a.reserve(4096, 64);
+        a.mov64(Reg::x(1), region);
+        // Load precedes the store in program order; region granularity
+        // still treats the buffer as program-written.
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::XZR, 0);
+        a.str8(Reg::x(2), Reg::x(1), 8);
+        a.halt();
+        assert_eq!(lints(&a.finish()), vec![]);
+    }
+
+    #[test]
+    fn region_taint_survives_pointer_arithmetic_and_masking() {
+        let mut a = Asm::new();
+        let region = a.reserve(8192, 64);
+        a.mov64(Reg::x(1), region);
+        a.mov64(Reg::x(5), 8191);
+        a.movz(Reg::x(4), 0);
+        let top = a.here();
+        a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::x(4), 0);
+        a.addi(Reg::x(4), Reg::x(4), 64);
+        a.and(Reg::x(4), Reg::x(4), Reg::x(5));
+        a.cbnz(Reg::x(4), top);
+        a.halt();
+        assert_eq!(lints(&a.finish()), vec![Lint::KernelUninitRead]);
+    }
+
+    #[test]
+    fn unreachable_code_is_reported_as_one_run() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.b(end);
+        a.nop();
+        a.nop();
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let diags = check(&a.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, Lint::KernelUnreachable);
+        assert!(diags[0].message.contains("3 instruction(s)"));
+    }
+
+    #[test]
+    fn code_reached_through_jump_tables_is_not_dead() {
+        // An indirect call through a pointer table: the target function is
+        // only reachable via `blr`.
+        let mut a = Asm::new();
+        let f = a.label();
+        let table = a.data_code_ptrs(&[f]);
+        a.mov64(Reg::x(1), table);
+        a.ldr8(Reg::x(2), Reg::x(1), 0);
+        a.blr(Reg::x(2));
+        a.halt();
+        a.bind(f);
+        a.nop();
+        a.ret();
+        assert_eq!(lints(&a.finish()), vec![]);
+    }
+
+    #[test]
+    fn corrupted_branch_offset_is_out_of_range() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let mut p = a.finish();
+        // Hand-patch instruction 0 into `b +100` (beyond the segment).
+        let word = EncodedInst::build(Opcode::B, 0, Reg::XZR, Reg::XZR, Reg::XZR, 100).unwrap();
+        p.code[0] = word;
+        let diags = check(&p);
+        assert!(diags.iter().any(|d| d.lint == Lint::KernelBranchOutOfRange));
+    }
+
+    #[test]
+    fn static_verdicts_match_the_suite_ground_truth() {
+        // RA201 must fire on exactly the kernels the paper names (MM and
+        // M_Dyn), and on none once the arrays are initialised.
+        for w in racesim_kernels::microbench_suite(racesim_kernels::Scale::TINY) {
+            assert_eq!(
+                reads_uninitialized(&w.program),
+                w.uninit_data,
+                "static verdict diverges from ground truth for {}",
+                w.name
+            );
+        }
+        for w in racesim_kernels::microbench_suite_initialized(racesim_kernels::Scale::TINY) {
+            assert!(
+                !reads_uninitialized(&w.program),
+                "{} still flagged after the fix",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn whole_suite_is_free_of_structural_defects() {
+        for w in racesim_kernels::microbench_suite(racesim_kernels::Scale::TINY) {
+            let structural: Vec<_> = check(&w.program)
+                .into_iter()
+                .filter(|d| d.lint != Lint::KernelUninitRead)
+                .collect();
+            assert!(structural.is_empty(), "{}: {structural:?}", w.name);
+        }
+    }
+}

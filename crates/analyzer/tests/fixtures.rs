@@ -1,0 +1,271 @@
+//! One seeded-invalid fixture per lint-rule family, each paired with a
+//! passing twin. This is the acceptance gate for the lint catalogue: a
+//! rule that cannot flag its seeded fixture — or that fires on the
+//! fixture's clean twin — is broken.
+
+use racesim_analyzer::{kernel, param, platform, Diagnostic, Severity};
+use racesim_isa::asm::Asm;
+use racesim_isa::{EncodedInst, MemWidth, Opcode, Reg};
+use racesim_race::{Configuration, Domain, Param, ParamSpace};
+use racesim_sim::Platform;
+
+struct Fixture {
+    /// The rule family being seeded.
+    code: &'static str,
+    name: &'static str,
+    /// Diagnostics of the deliberately broken artefact.
+    broken: Vec<Diagnostic>,
+    /// Diagnostics of its minimally repaired twin.
+    clean: Vec<Diagnostic>,
+}
+
+fn space_fixture(
+    code: &'static str,
+    name: &'static str,
+    broken: ParamSpace,
+    clean: ParamSpace,
+) -> Fixture {
+    Fixture {
+        code,
+        name,
+        broken: param::check_space(&broken),
+        clean: param::check_space(&clean),
+    }
+}
+
+fn platform_fixture(
+    code: &'static str,
+    name: &'static str,
+    seed: impl Fn(&mut Platform),
+) -> Fixture {
+    let clean = Platform::a53_like();
+    let mut broken = clean.clone();
+    seed(&mut broken);
+    Fixture {
+        code,
+        name,
+        broken: platform::check(&broken),
+        clean: platform::check(&clean),
+    }
+}
+
+fn raw_integer(space: &mut ParamSpace, name: &str, values: &[i64]) {
+    space.add_param(Param {
+        name: name.to_string(),
+        domain: Domain::Integer(values.to_vec()),
+    });
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let mut out = Vec::new();
+
+    // --- RA001: a dimension the race cannot actually search. ----------
+    {
+        let mut broken = ParamSpace::new();
+        broken.add_integer("rob", &[64]);
+        let mut clean = ParamSpace::new();
+        clean.add_integer("rob", &[64, 128]);
+        out.push(space_fixture(
+            "RA001",
+            "degenerate dimension",
+            broken,
+            clean,
+        ));
+    }
+
+    // --- RA002: a duplicated candidate doubles its sampling weight. ----
+    {
+        let mut broken = ParamSpace::new();
+        raw_integer(&mut broken, "rob", &[64, 64, 128]);
+        let mut clean = ParamSpace::new();
+        clean.add_integer("rob", &[64, 64, 128]); // builder dedupes
+        out.push(space_fixture("RA002", "duplicate candidate", broken, clean));
+    }
+
+    // --- RA003: unsorted candidates break neighbourhood sampling. ------
+    {
+        let mut broken = ParamSpace::new();
+        raw_integer(&mut broken, "rob", &[128, 64, 192]);
+        let mut clean = ParamSpace::new();
+        clean.add_integer("rob", &[128, 64, 192]); // builder sorts
+        out.push(space_fixture("RA003", "unsorted candidates", broken, clean));
+    }
+
+    // --- RA004: a sampleable latency inversion in the model. -----------
+    {
+        let mk = |l1d_max: i64| {
+            let mut s = ParamSpace::new();
+            s.add_integer("l1d.latency", &[2, 3, l1d_max]);
+            s.add_integer("l2.latency", &[15, 18]);
+            s
+        };
+        let check = |s: &ParamSpace| {
+            let apply = |cfg: &Configuration| {
+                let mut p = Platform::a53_like();
+                p.mem.l1d.latency = cfg.integer(s, "l1d.latency") as u64;
+                p.mem.l2.latency = cfg.integer(s, "l2.latency") as u64;
+                p
+            };
+            param::check_model(s, &[("default", s.default_configuration())], &apply)
+        };
+        let broken = mk(16); // l1d=16 >= l2=15 is reachable
+        let clean = mk(4);
+        out.push(Fixture {
+            code: "RA004",
+            name: "reachable latency inversion",
+            broken: check(&broken),
+            clean: check(&clean),
+        });
+    }
+
+    // --- RA101: cache geometry with a fractional/non-2^k set count. ----
+    out.push(platform_fixture(
+        "RA101",
+        "non-power-of-two set count",
+        |p| {
+            p.mem.l1d.size_kb = 48; // 48 KiB / 4 ways / 64 B = 192 sets
+        },
+    ));
+
+    // --- RA102: memory levels whose latencies do not increase. ---------
+    out.push(platform_fixture(
+        "RA102",
+        "platform latency inversion",
+        |p| {
+            p.mem.l1d.latency = p.mem.l2.latency + 1;
+        },
+    ));
+
+    // --- RA103: a queue smaller than the width that feeds it. ----------
+    out.push(platform_fixture("RA103", "issue wider than fetch", |p| {
+        p.core.inorder.issue_width = p.core.frontend.fetch_width + 1;
+    }));
+
+    // --- RA104: a zero-sized structural resource. ----------------------
+    out.push(platform_fixture("RA104", "zero MSHRs", |p| {
+        p.mem.l1d.mshrs = 0;
+    }));
+
+    // --- RA105: predictor tables the index hash cannot address. --------
+    out.push(platform_fixture("RA105", "non-power-of-two BTB", |p| {
+        p.core.branch.btb_entries = 3000;
+    }));
+
+    // --- RA106: a free (zero-cycle) memory access. ---------------------
+    out.push(platform_fixture("RA106", "zero-latency L1D", |p| {
+        p.mem.l1d.latency = 0;
+    }));
+
+    // --- RA201: a load from a region nothing ever initialises. ---------
+    {
+        let program = |init: bool| {
+            let mut a = Asm::new();
+            let region = if init {
+                a.reserve_initialized(4096, 64)
+            } else {
+                a.reserve(4096, 64)
+            };
+            a.mov64(Reg::x(1), region);
+            a.ldr(MemWidth::B8, Reg::x(2), Reg::x(1), Reg::XZR, 0);
+            a.halt();
+            a.finish()
+        };
+        out.push(Fixture {
+            code: "RA201",
+            name: "uninitialised-array read",
+            broken: kernel::check(&program(false)),
+            clean: kernel::check(&program(true)),
+        });
+    }
+
+    // --- RA202: code no path from the entry reaches. -------------------
+    {
+        let program = |dead: bool| {
+            let mut a = Asm::new();
+            let end = a.label();
+            if dead {
+                a.b(end);
+                a.nop();
+            }
+            a.bind(end);
+            a.halt();
+            a.finish()
+        };
+        out.push(Fixture {
+            code: "RA202",
+            name: "unreachable block",
+            broken: kernel::check(&program(true)),
+            clean: kernel::check(&program(false)),
+        });
+    }
+
+    // --- RA203: a branch aimed outside the code segment. ---------------
+    {
+        let program = |corrupt: bool| {
+            let mut a = Asm::new();
+            a.nop();
+            a.halt();
+            let mut p = a.finish();
+            if corrupt {
+                let b = EncodedInst::build(Opcode::B, 0, Reg::XZR, Reg::XZR, Reg::XZR, 100)
+                    .expect("encodes");
+                p.code.push(b);
+            }
+            p
+        };
+        out.push(Fixture {
+            code: "RA203",
+            name: "branch out of range",
+            broken: kernel::check(&program(true)),
+            clean: kernel::check(&program(false)),
+        });
+    }
+
+    out
+}
+
+#[test]
+fn every_rule_family_flags_its_seeded_fixture_and_spares_the_twin() {
+    let all = fixtures();
+    assert!(
+        all.len() >= 8,
+        "the acceptance gate needs at least 8 rule-family fixtures, have {}",
+        all.len()
+    );
+    for f in &all {
+        assert!(
+            f.broken.iter().any(|d| d.lint.code() == f.code),
+            "{} ({}): seeded fixture not flagged; got {:?}",
+            f.code,
+            f.name,
+            f.broken
+        );
+        assert!(
+            !f.clean.iter().any(|d| d.lint.code() == f.code),
+            "{} ({}): clean twin wrongly flagged: {:?}",
+            f.code,
+            f.name,
+            f.clean
+        );
+    }
+}
+
+#[test]
+fn fixture_codes_are_distinct() {
+    let all = fixtures();
+    let mut codes: Vec<_> = all.iter().map(|f| f.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), all.len(), "each fixture seeds a distinct rule");
+}
+
+#[test]
+fn shipped_platforms_carry_zero_error_diagnostics() {
+    for p in [Platform::a53_like(), Platform::a72_like()] {
+        let errors: Vec<_> = platform::check(&p)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {:?}", p.name, errors);
+    }
+}

@@ -84,10 +84,14 @@ fn bench_search_strategies(c: &mut Criterion) {
         })
     });
     group.bench_function("random", |b| {
-        b.iter(|| RandomSearch::new(settings(budget, EliminationTest::Friedman)).tune(&space, &cost, n))
+        b.iter(|| {
+            RandomSearch::new(settings(budget, EliminationTest::Friedman)).tune(&space, &cost, n)
+        })
     });
     group.bench_function("grid", |b| {
-        b.iter(|| GridSearch::new(settings(budget, EliminationTest::Friedman)).tune(&space, &cost, n))
+        b.iter(|| {
+            GridSearch::new(settings(budget, EliminationTest::Friedman)).tune(&space, &cost, n)
+        })
     });
     group.finish();
 
@@ -115,9 +119,7 @@ fn bench_elimination_tests(c: &mut Criterion) {
     let mut group = c.benchmark_group("elimination_test");
     group.sample_size(10);
     group.bench_function("friedman_wilcoxon", |b| {
-        b.iter(|| {
-            RacingTuner::new(settings(300, EliminationTest::Friedman)).tune(&space, &cost, n)
-        })
+        b.iter(|| RacingTuner::new(settings(300, EliminationTest::Friedman)).tune(&space, &cost, n))
     });
     group.bench_function("paired_t", |b| {
         b.iter(|| RacingTuner::new(settings(300, EliminationTest::PairedT)).tune(&space, &cost, n))
@@ -151,7 +153,6 @@ fn bench_micro_vs_macro_tuning(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Criterion configuration: set `RACESIM_QUICK_BENCH=1` to shrink
 /// measurement times (used by CI and the final smoke runs).

@@ -67,7 +67,6 @@ fn bench_tuner(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration: set `RACESIM_QUICK_BENCH=1` to shrink
 /// measurement times (used by CI and the final smoke runs).
 fn configured() -> Criterion {

@@ -48,7 +48,6 @@ fn bench_emulator(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration: set `RACESIM_QUICK_BENCH=1` to shrink
 /// measurement times (used by CI and the final smoke runs).
 fn configured() -> Criterion {

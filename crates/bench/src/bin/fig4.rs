@@ -38,27 +38,21 @@ fn main() {
         assert_eq!(u.name, t.name);
         let ue = abs_pct_error(u.sim_cpi, u.hw_cpi);
         let te = abs_pct_error(t.sim_cpi, t.hw_cpi);
-        rows.push(vec![
-            u.name.clone(),
-            format!("{ue:.1}"),
-            format!("{te:.1}"),
-        ]);
+        rows.push(vec![u.name.clone(), format!("{ue:.1}"), format!("{te:.1}")]);
         chart.push((format!("{:<12} tuned", u.name), te));
     }
-    let untuned_avg =
-        untuned.iter().map(|r| r.error_pct()).sum::<f64>() / untuned.len() as f64;
+    let untuned_avg = untuned.iter().map(|r| r.error_pct()).sum::<f64>() / untuned.len() as f64;
     let tuned_avg = outcome.tuned_mean_error();
 
     println!(
         "{}",
         report::table(&["benchmark", "not tuned %", "tuned %"], &rows)
     );
-    println!("not tuned average: {untuned_avg:.1}%   (paper: ~50%, trimmed to 33% after one round)");
+    println!(
+        "not tuned average: {untuned_avg:.1}%   (paper: ~50%, trimmed to 33% after one round)"
+    );
     println!("tuned average:     {tuned_avg:.1}%   (paper: ~10%)");
-    let worst_untuned = untuned
-        .iter()
-        .map(|r| r.error_pct())
-        .fold(0.0f64, f64::max);
+    let worst_untuned = untuned.iter().map(|r| r.error_pct()).fold(0.0f64, f64::max);
     println!("worst untuned benchmark: {worst_untuned:.0}% (paper: 5.6x on ED1)");
 
     println!("\ntuned error profile:");
@@ -73,7 +67,6 @@ fn main() {
     }
 
     let csv = results_dir().join("fig4.csv");
-    report::write_csv(&csv, &["benchmark", "untuned_pct", "tuned_pct"], &rows)
-        .expect("write csv");
+    report::write_csv(&csv, &["benchmark", "untuned_pct", "tuned_pct"], &rows).expect("write csv");
     println!("\nwritten: {}", csv.display());
 }

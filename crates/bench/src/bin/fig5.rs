@@ -2,7 +2,9 @@
 //! the tuned in-order (Cortex-A53) model on the SPEC CPU2017 proxies.
 //! The paper reports a 7% average with a 16% worst case.
 
-use racesim_bench::{banner, board_for, mean_of, results_dir, spec_errors, validate, ExperimentConfig};
+use racesim_bench::{
+    banner, board_for, mean_of, results_dir, spec_errors, validate, ExperimentConfig,
+};
 use racesim_core::{report, Revision};
 use racesim_uarch::CoreKind;
 

@@ -3,7 +3,9 @@
 //! proxies. The paper reports a 15% average with ~30% outliers (povray
 //! and x264, blamed on the prefetcher).
 
-use racesim_bench::{banner, board_for, mean_of, results_dir, spec_errors, validate, ExperimentConfig};
+use racesim_bench::{
+    banner, board_for, mean_of, results_dir, spec_errors, validate, ExperimentConfig,
+};
 use racesim_core::{report, Revision};
 use racesim_uarch::CoreKind;
 

@@ -34,7 +34,12 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["benchmark", "region (file:line)", "paper insns", "proxy insns"],
+            &[
+                "benchmark",
+                "region (file:line)",
+                "paper insns",
+                "proxy insns"
+            ],
             &rows
         )
     );

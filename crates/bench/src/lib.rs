@@ -23,13 +23,13 @@
 
 #![warn(missing_docs)]
 
+use racesim_core::validator::PreparedSuite;
 use racesim_core::{Revision, ValidationOutcome, Validator, ValidatorSettings};
 use racesim_decoder::Decoder;
 use racesim_hw::{HardwarePlatform, ReferenceBoard};
 use racesim_kernels::{spec_suite, Scale};
 use racesim_race::TunerSettings;
 use racesim_sim::{run_batch, Platform, SimOptions, Simulator};
-use racesim_core::validator::PreparedSuite;
 use racesim_stats::abs_pct_error;
 use racesim_uarch::CoreKind;
 use std::path::PathBuf;
@@ -62,7 +62,7 @@ impl ExperimentConfig {
         let seed = std::env::var("RACESIM_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(0xA53_72);
+            .unwrap_or(0x000A_5372);
         ExperimentConfig {
             scale: Scale::divide_by(scale_div),
             budget,
@@ -199,8 +199,7 @@ pub mod perturbation {
         // Evaluate both configurations on the SPEC proxies.
         let base = outcome.untuned.clone();
         let tuned_rows = spec_errors(&outcome.tuned, &board, cfg.scale);
-        let worst_platform =
-            racesim_core::params::apply(&outcome.space, &perturbed.worst, &base);
+        let worst_platform = racesim_core::params::apply(&outcome.space, &perturbed.worst, &base);
         let worst_rows = spec_errors(&worst_platform, &board, cfg.scale);
 
         println!("\nSPEC CPI error, worst close-to-optimum configuration:");

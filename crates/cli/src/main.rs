@@ -7,6 +7,7 @@
 //! racesim probe    --board a53              lmbench-style latency estimation
 //! racesim config   --platform a72           dump a platform config file
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
+//! racesim lint     [--json] [--revision fixed|initial]
 //! ```
 
 use racesim_core::{analysis, latency, report, Revision, Validator, ValidatorSettings};
@@ -31,6 +32,7 @@ COMMANDS:
     probe                         estimate cache/memory latencies on a board (lmbench style)
     config                        print a platform configuration file
     validate                      run the full validation methodology and save the tuned model
+    lint                          statically check platforms, parameter spaces and kernels
     help                          show this message
 
 COMMON OPTIONS:
@@ -42,7 +44,12 @@ COMMON OPTIONS:
     --budget <N>                  racing evaluation budget (default 2000)
     --threads <N>                 evaluation threads (default: all)
     --out <FILE>                  where to write the tuned config (validate)
+    --revision <fixed|initial>    model revision to lint (default fixed)
+    --json                        machine-readable lint output (stable schema)
 ";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["json"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -51,6 +58,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("flag --{key} needs a value"));
         };
@@ -82,8 +93,8 @@ fn platform_of(flags: &HashMap<String, String>) -> Result<Platform, String> {
         Some("a53") | None => Ok(Platform::a53_like()),
         Some("a72") => Ok(Platform::a72_like()),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             config_text::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
         }
     }
@@ -247,6 +258,76 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `racesim lint`: the static-analysis gate. Checks the shipped platform
+/// presets, the tuning parameter spaces for both cores, and every
+/// micro-benchmark kernel — all before a single cycle is simulated.
+/// Exits non-zero when any Error-severity diagnostic is found.
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let revision = match flags.get("revision").map(String::as_str) {
+        Some("fixed") | None => Revision::Fixed,
+        Some("initial") => Revision::Initial,
+        Some(v) => return Err(format!("unknown revision {v:?} (use fixed or initial)")),
+    };
+    let scale = scale_of(flags)?;
+    let mut report = racesim_analyzer::Report::new();
+
+    // 1. Platform invariants on the shipped presets (or --platform FILE).
+    match flags.get("platform") {
+        Some(_) => report.extend(racesim_analyzer::platform::check(&platform_of(flags)?)),
+        None => {
+            report.extend(racesim_analyzer::platform::check(&Platform::a53_like()));
+            report.extend(racesim_analyzer::platform::check(&Platform::a72_like()));
+        }
+    }
+
+    // 2. Parameter-space lints for both cores.
+    for (label, kind, base) in [
+        ("a53", CoreKind::InOrder, Platform::a53_like()),
+        ("a72", CoreKind::OutOfOrder, Platform::a72_like()),
+    ] {
+        let space = racesim_core::params::build_space(kind, revision);
+        let anchors = [
+            ("default", space.default_configuration()),
+            ("best-guess", racesim_core::params::best_guess(&space, kind)),
+        ];
+        let apply =
+            |cfg: &racesim_race::Configuration| racesim_core::params::apply(&space, cfg, &base);
+        let mut diags = racesim_analyzer::param::check_space(&space);
+        diags.extend(racesim_analyzer::param::check_model(
+            &space, &anchors, &apply,
+        ));
+        for mut d in diags {
+            d.context
+                .insert(0, ("space".to_string(), label.to_string()));
+            report.push(d);
+        }
+    }
+
+    // 3. Kernel static analysis over the whole micro-benchmark suite.
+    let suite = match revision {
+        Revision::Initial => microbench_suite(scale),
+        Revision::Fixed => racesim_kernels::microbench_suite_initialized(scale),
+    };
+    for w in &suite {
+        for mut d in racesim_analyzer::kernel::check(&w.program) {
+            d.context.insert(0, ("kernel".to_string(), w.name.clone()));
+            report.push(d);
+        }
+    }
+
+    report.sort();
+    if flags.get("json").is_some() {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -267,6 +348,15 @@ fn main() -> ExitCode {
         "probe" => cmd_probe(&flags),
         "config" => cmd_config(&flags),
         "validate" => cmd_validate(&flags),
+        "lint" => {
+            return match cmd_lint(&flags) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

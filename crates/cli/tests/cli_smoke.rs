@@ -29,7 +29,11 @@ fn unknown_command_fails_with_usage() {
 #[test]
 fn simulate_reports_cpi() {
     let out = racesim(&["simulate", "--platform", "a53", "--workload", "ED1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("CPI:"), "{text}");
     assert!(text.contains("instructions:"));
@@ -38,7 +42,11 @@ fn simulate_reports_cpi() {
 #[test]
 fn measure_reports_counters() {
     let out = racesim(&["measure", "--board", "a72", "--workload", "EI"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("cycles:"));
 }

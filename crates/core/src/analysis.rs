@@ -194,6 +194,9 @@ mod tests {
         ];
         let rep = analyse(&results);
         assert_eq!(rep.categories[0].category, Category::Execution);
-        assert_eq!(rep.categories.last().unwrap().category, Category::ControlFlow);
+        assert_eq!(
+            rep.categories.last().unwrap().category,
+            Category::ControlFlow
+        );
     }
 }

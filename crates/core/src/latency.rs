@@ -27,10 +27,7 @@ pub struct LatencyEstimates {
 }
 
 /// Per-load latency of one probe on the platform.
-fn probe_latency(
-    hw: &dyn HardwarePlatform,
-    size_kb: u32,
-) -> Result<f64, MeasureError> {
+fn probe_latency(hw: &dyn HardwarePlatform, size_kb: u32) -> Result<f64, MeasureError> {
     let w = probes::lat_mem_rd(size_kb, 64);
     let trace = w.trace()?;
     let counters = hw.measure_trace(&w.name, &trace, false)?;
@@ -47,9 +44,7 @@ fn probe_latency(
 /// # Errors
 ///
 /// Propagates measurement failures from the platform.
-pub fn estimate_latencies(
-    hw: &dyn HardwarePlatform,
-) -> Result<LatencyEstimates, MeasureError> {
+pub fn estimate_latencies(hw: &dyn HardwarePlatform) -> Result<LatencyEstimates, MeasureError> {
     // Footprints chosen to sit well inside L1 (8 KiB), well inside L2 but
     // beyond L1 (128 KiB), and beyond L2 (4 MiB).
     let l1 = probe_latency(hw, 8)?;
@@ -85,7 +80,7 @@ mod tests {
         let mem = probe_latency(&hw, 4096).unwrap();
         assert!(l1 < l2, "L1 {l1} < L2 {l2}");
         assert!(l2 < mem, "L2 {l2} < mem {mem}");
-        assert!(l1 >= 2.0 && l1 <= 8.0, "L1 load-to-use {l1}");
+        assert!((2.0..=8.0).contains(&l1), "L1 load-to-use {l1}");
     }
 
     #[test]
@@ -100,7 +95,11 @@ mod tests {
             est.l1d
         );
         assert!((8..=40).contains(&est.l2), "L2 estimate: {}", est.l2);
-        assert!((80..=400).contains(&est.dram), "DRAM estimate: {}", est.dram);
+        assert!(
+            (80..=400).contains(&est.dram),
+            "DRAM estimate: {}",
+            est.dram
+        );
     }
 
     #[test]

@@ -36,4 +36,7 @@ pub mod validator;
 
 pub use params::Revision;
 pub use racesim_sim::Platform;
-pub use validator::{BenchResult, CostMetric, PreparedSuite, ValidationOutcome, Validator, ValidatorSettings};
+pub use validator::{
+    BenchResult, CostMetric, PreparedSuite, ValidationError, ValidationOutcome, Validator,
+    ValidatorSettings,
+};

@@ -250,16 +250,15 @@ pub fn apply(space: &ParamSpace, cfg: &Configuration, base: &Platform) -> Platfo
     };
     p.core.branch.btb_entries = cfg.integer(space, "branch.btb_entries") as u32;
     p.core.branch.btb_ways = cfg.integer(space, "branch.btb_ways") as u32;
-    p.core.branch.indirect = if has("branch.indirect")
-        && cfg.categorical(space, "branch.indirect") == "path_history"
-    {
-        IndirectPredictorConfig::PathHistory {
-            table_bits: cfg.integer(space, "branch.indirect_table_bits") as u8,
-            history_bits: cfg.integer(space, "branch.indirect_history_bits") as u8,
-        }
-    } else {
-        IndirectPredictorConfig::BtbOnly
-    };
+    p.core.branch.indirect =
+        if has("branch.indirect") && cfg.categorical(space, "branch.indirect") == "path_history" {
+            IndirectPredictorConfig::PathHistory {
+                table_bits: cfg.integer(space, "branch.indirect_table_bits") as u8,
+                history_bits: cfg.integer(space, "branch.indirect_history_bits") as u8,
+            }
+        } else {
+            IndirectPredictorConfig::BtbOnly
+        };
     p.core.branch.ras_entries = cfg.integer(space, "branch.ras_entries") as u32;
     p.core.branch.mispredict_penalty = cfg.integer(space, "branch.mispredict_penalty") as u64;
     p.core.branch.btb_miss_penalty = cfg.integer(space, "branch.btb_miss_penalty") as u64;

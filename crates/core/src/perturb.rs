@@ -33,11 +33,7 @@ pub struct PerturbOutcome {
 
 /// Enumerates the ≤2 one-step neighbours of parameter `idx` *relative to
 /// the optimum*, given the current value (which may already deviate).
-fn one_step_values(
-    space: &ParamSpace,
-    optimum: &Configuration,
-    idx: usize,
-) -> Vec<Value> {
+fn one_step_values(space: &ParamSpace, optimum: &Configuration, idx: usize) -> Vec<Value> {
     let card = space.params()[idx].domain.cardinality();
     let center = match optimum.value(idx) {
         Value::Cat(i) | Value::Int(i) => i as usize,
@@ -123,6 +119,7 @@ fn parallel_costs(
 
 /// Greedy coordinate ascent from `start`, confined to the ±1-step box
 /// around `optimum`. Returns the local maximum and its cost.
+#[allow(clippy::too_many_arguments)]
 fn ascend(
     space: &ParamSpace,
     optimum: &Configuration,
@@ -248,7 +245,6 @@ pub fn worst_within_one_step_multistart(
         evals_used: evals,
     }
 }
-
 
 #[cfg(test)]
 mod tests {

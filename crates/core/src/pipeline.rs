@@ -7,8 +7,8 @@
 
 use crate::analysis::{analyse, AnalysisReport};
 use crate::params::Revision;
-use crate::validator::{ValidationOutcome, Validator, ValidatorSettings};
-use racesim_hw::{HardwarePlatform, MeasureError};
+use crate::validator::{ValidationError, ValidationOutcome, Validator, ValidatorSettings};
+use racesim_hw::HardwarePlatform;
 
 /// One completed revision round: its outcome plus the step-5 report.
 #[derive(Debug)]
@@ -52,11 +52,12 @@ impl StagedOutcome {
 ///
 /// # Errors
 ///
-/// Propagates measurement failures from the platform.
+/// Propagates measurement failures from the platform and static-lint
+/// failures of the anchor platforms.
 pub fn run_staged(
     board: &dyn HardwarePlatform,
     settings: &ValidatorSettings,
-) -> Result<StagedOutcome, MeasureError> {
+) -> Result<StagedOutcome, ValidationError> {
     let mut rounds = Vec::new();
 
     let mut first = settings.clone();

@@ -73,11 +73,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     fn field(s: &str) -> String {
         if s.contains(',') || s.contains('"') || s.contains('\n') {
             format!("\"{}\"", s.replace('"', "\"\""))
@@ -85,7 +81,11 @@ pub fn write_csv(
             s.to_string()
         }
     }
-    let mut text = headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    let mut text = headers
+        .iter()
+        .map(|h| field(h))
+        .collect::<Vec<_>>()
+        .join(",");
     text.push('\n');
     for r in rows {
         text.push_str(&r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));

@@ -2,17 +2,88 @@
 
 use crate::latency::{apply_estimates, estimate_latencies};
 use crate::params::{apply, best_guess, build_space, Revision};
+use racesim_analyzer::{Diagnostic, Severity};
 use racesim_decoder::{Decoder, Quirks};
 use racesim_hw::{HardwarePlatform, MeasureError, PerfCounters};
 use racesim_kernels::{microbench_suite, microbench_suite_initialized, Category, Scale, Workload};
 use racesim_race::{
-    Configuration, CostFn, ParamSpace, RacingTuner, TuneResult, Tuner, TunerSettings,
+    Configuration, CostFn, ParamSpace, Pruner, RacingTuner, TuneResult, Tuner, TunerSettings,
 };
 use racesim_sim::{Platform, SimOptions, Simulator};
 use racesim_stats::abs_pct_error;
 use racesim_trace::TraceBuffer;
 use racesim_uarch::CoreKind;
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a validation run could not complete.
+#[derive(Debug)]
+pub enum ValidationError {
+    /// The hardware platform failed to execute or measure a workload.
+    Measure(MeasureError),
+    /// The model failed static linting before any simulation was spent:
+    /// an anchor platform (base or best-guess) violates a structural
+    /// invariant. The diagnostics name the offending lints.
+    ModelLint(Vec<Diagnostic>),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Measure(e) => write!(f, "{e}"),
+            ValidationError::ModelLint(diags) => {
+                let errors: Vec<&Diagnostic> = diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .collect();
+                write!(
+                    f,
+                    "model failed static linting ({} error{}): ",
+                    errors.len(),
+                    if errors.len() == 1 { "" } else { "s" }
+                )?;
+                for (i, d) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "[{}] {}", d.lint.code(), d.message)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidationError::Measure(e) => Some(e),
+            ValidationError::ModelLint(_) => None,
+        }
+    }
+}
+
+impl From<MeasureError> for ValidationError {
+    fn from(e: MeasureError) -> Self {
+        ValidationError::Measure(e)
+    }
+}
+
+/// Fail-fast gate: rejects a platform that carries Error-severity lint
+/// diagnostics. Warnings and infos pass (they are reported by `racesim
+/// lint`, not here).
+///
+/// # Errors
+///
+/// Returns [`ValidationError::ModelLint`] with the full diagnostic list
+/// when any Error-severity lint fires.
+pub fn lint_platform(platform: &Platform) -> Result<(), ValidationError> {
+    let diags = racesim_analyzer::platform::check(platform);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return Err(ValidationError::ModelLint(diags));
+    }
+    Ok(())
+}
 
 /// The cost the tuner minimises.
 ///
@@ -35,13 +106,7 @@ pub enum CostMetric {
 
 impl CostMetric {
     /// Evaluates the metric from simulated and measured quantities.
-    pub fn evaluate(
-        &self,
-        sim_cpi: f64,
-        hw_cpi: f64,
-        sim_bmr: f64,
-        hw_bmr: f64,
-    ) -> f64 {
+    pub fn evaluate(&self, sim_cpi: f64, hw_cpi: f64, sim_bmr: f64, hw_bmr: f64) -> f64 {
         let cpi_err = abs_pct_error(sim_cpi, hw_cpi);
         match *self {
             CostMetric::CpiError => cpi_err,
@@ -307,10 +372,14 @@ impl<'hw> Validator<'hw> {
     ///
     /// # Errors
     ///
-    /// Propagates workload-execution and measurement failures.
-    pub fn run(&self) -> Result<ValidationOutcome, MeasureError> {
+    /// Propagates workload-execution and measurement failures, and fails
+    /// fast with [`ValidationError::ModelLint`] if the base or best-guess
+    /// platform violates a structural invariant — catching specification
+    /// errors before any racing budget is spent.
+    pub fn run(&self) -> Result<ValidationOutcome, ValidationError> {
         // Steps 1–2.
         let base = self.base_platform()?;
+        lint_platform(&base)?;
         // Step 3: the schema and the user's best guesses.
         let space = build_space(self.settings.kind, self.settings.revision);
         let guess = best_guess(&space, self.settings.kind);
@@ -320,16 +389,29 @@ impl<'hw> Validator<'hw> {
         let suite = PreparedSuite::prepare(&self.suite(), self.board)?;
 
         let untuned = apply(&space, &guess, &base);
+        lint_platform(&untuned)?;
         let untuned_results = evaluate_platform(&untuned, decoder, &suite);
 
-        // Step 4: racing.
+        // Step 4: racing. Sampled configurations that produce an
+        // unrealisable platform are pruned before costing a single
+        // simulation; the race only ever sees realisable candidates.
         let cost = CpiErrorCost {
             base: base.clone(),
             suite: &suite,
             decoder,
             metric: self.settings.metric,
         };
-        let tuner = RacingTuner::new(self.settings.tuner);
+        let pruner: Pruner = {
+            let space = space.clone();
+            let base = base.clone();
+            Arc::new(move |cfg: &Configuration| {
+                racesim_analyzer::platform::check(&apply(&space, cfg, &base))
+                    .into_iter()
+                    .find(|d| d.severity == Severity::Error)
+                    .map(|d| d.lint.code().to_string())
+            })
+        };
+        let tuner = RacingTuner::new(self.settings.tuner).with_pruner(pruner);
         let tune = tuner.tune(&space, &cost, suite.len());
         let best = tune.best.clone();
 
@@ -411,6 +493,25 @@ mod tests {
         settings.metric = CostMetric::CpiAndBranch { branch_weight: 0.3 };
         let out = Validator::new(&board, settings).run().expect("runs");
         assert!(out.tuned_mean_error() < out.untuned_mean_error());
+    }
+
+    #[test]
+    fn lint_gate_rejects_a_structurally_broken_platform() {
+        let mut broken = Platform::a53_like();
+        // An L1D hit costing more than an L2 hit inverts the memory
+        // hierarchy; the analyzer flags it as an Error and the validator
+        // refuses to spend a racing budget on it.
+        broken.mem.l1d.latency = broken.mem.l2.latency + 1;
+        let err = lint_platform(&broken).expect_err("broken platform must be rejected");
+        match err {
+            ValidationError::ModelLint(diags) => {
+                assert!(diags.iter().any(|d| d.severity == Severity::Error));
+            }
+            other => panic!("expected ModelLint, got {other:?}"),
+        }
+        // The shipped presets sail through the same gate.
+        lint_platform(&Platform::a53_like()).expect("a53 preset is clean");
+        lint_platform(&Platform::a72_like()).expect("a72 preset is clean");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Property: every configuration sampled from the shipped parameter
+//! spaces either passes the platform invariant checker or is pruned with
+//! a named lint — the tuner can never spend simulation budget on a
+//! structurally broken model, and the pruner never rejects silently.
+
+use proptest::prelude::*;
+use racesim_analyzer::{platform as platform_lint, Severity};
+use racesim_core::params::{apply, build_space, Revision};
+use racesim_race::{Domain, Value};
+use racesim_sim::Platform;
+use racesim_uarch::CoreKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampled_configs_pass_or_are_pruned_by_name(
+        picks in proptest::collection::vec(any::<u64>(), 80..81),
+        kind_ooo in any::<bool>(),
+        fixed in any::<bool>(),
+    ) {
+        let kind = if kind_ooo { CoreKind::OutOfOrder } else { CoreKind::InOrder };
+        let revision = if fixed { Revision::Fixed } else { Revision::Initial };
+        let space = build_space(kind, revision);
+        let base = match kind {
+            CoreKind::InOrder => Platform::a53_like(),
+            CoreKind::OutOfOrder => Platform::a72_like(),
+        };
+
+        // A uniformly random point of the space: one pick per dimension.
+        let mut cfg = space.default_configuration();
+        for (i, p) in space.params().iter().enumerate() {
+            let pick = picks[i % picks.len()].wrapping_add(i as u64);
+            let v = match &p.domain {
+                Domain::Categorical(cs) => Value::Cat((pick as usize % cs.len()) as u16),
+                Domain::Integer(vs) => Value::Int((pick as usize % vs.len()) as u16),
+                Domain::Bool => Value::Flag(pick & 1 == 1),
+            };
+            cfg.set_value(i, v);
+        }
+
+        // The same gate the validator installs as the tuner's pruner.
+        let platform = apply(&space, &cfg, &base);
+        let diags = platform_lint::check(&platform);
+        let first_error = diags.iter().find(|d| d.severity == Severity::Error);
+        match first_error {
+            None => prop_assert!(platform_lint::is_realisable(&platform)),
+            Some(d) => {
+                let code = d.lint.code();
+                prop_assert!(
+                    code.starts_with("RA") && code.len() == 5,
+                    "pruned configuration must cite a named lint, got {code:?}"
+                );
+            }
+        }
+    }
+}

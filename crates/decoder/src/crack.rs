@@ -77,7 +77,10 @@ impl MicroOps {
     }
 
     fn two(a: MicroOp, b: MicroOp) -> MicroOps {
-        MicroOps { ops: [a, b], len: 2 }
+        MicroOps {
+            ops: [a, b],
+            len: 2,
+        }
     }
 
     /// The micro-ops as a slice.

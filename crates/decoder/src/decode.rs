@@ -188,10 +188,7 @@ impl Decoder {
                 regs.dst(Reg::NZCV);
             }
             Csel => {
-                cond = Some(
-                    word.cond()
-                        .ok_or(DecodeError::BadCondition(word.aux()))?,
-                );
+                cond = Some(word.cond().ok_or(DecodeError::BadCondition(word.aux()))?);
                 regs.src(rn);
                 regs.src(rm);
                 regs.src(Reg::NZCV);
@@ -221,17 +218,15 @@ impl Decoder {
                 regs.dst(rd);
             }
             Ldr => {
-                width = Some(
-                    MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?,
-                );
+                width =
+                    Some(MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?);
                 regs.src(rn);
                 regs.src(rm);
                 regs.dst(rd);
             }
             Str => {
-                width = Some(
-                    MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?,
-                );
+                width =
+                    Some(MemWidth::from_bits(word.aux()).ok_or(DecodeError::BadWidth(word.aux()))?);
                 // The stored value travels in the rd field.
                 regs.src(rd);
                 regs.src(rn);
@@ -239,10 +234,7 @@ impl Decoder {
             }
             B => {}
             Bcond => {
-                cond = Some(
-                    word.cond()
-                        .ok_or(DecodeError::BadCondition(word.aux()))?,
-                );
+                cond = Some(word.cond().ok_or(DecodeError::BadCondition(word.aux()))?);
                 regs.src(Reg::NZCV);
             }
             Cbz | Cbnz => {

@@ -59,12 +59,9 @@ fn emit(a: &mut Asm, op: &Op) {
         Op::Div(d, n, m) => a.udiv(Reg::x(d), Reg::x(n), Reg::x(m)),
         Op::Movz(d, i) => a.movz(Reg::x(d), i as i64),
         Op::Cmp(n, m) => a.cmp(Reg::x(n), Reg::x(m)),
-        Op::Csel(c, d, n, m) => a.csel(
-            Cond::from_bits(c).unwrap(),
-            Reg::x(d),
-            Reg::x(n),
-            Reg::x(m),
-        ),
+        Op::Csel(c, d, n, m) => {
+            a.csel(Cond::from_bits(c).unwrap(), Reg::x(d), Reg::x(n), Reg::x(m))
+        }
         Op::Fadd(d, n, m) => a.fadd(Reg::v(d), Reg::v(n), Reg::v(m)),
         Op::Vfma(d, n, m) => a.vfma(Reg::v(d), Reg::v(n), Reg::v(m)),
         Op::Ldr(t, b, i, o, w) => a.ldr(width(w), Reg::x(t), Reg::x(b), Reg::x(i), o as i64),

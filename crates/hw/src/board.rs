@@ -253,7 +253,9 @@ mod tests {
     fn boards_measure_all_microbenchmarks() {
         let a53 = ReferenceBoard::firefly_a53();
         for w in microbench_suite(Scale::TINY) {
-            let c = a53.measure(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let c = a53
+                .measure(&w)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(c.instructions > 0);
             assert!(c.cycles > 0);
             let cpi = c.cpi();

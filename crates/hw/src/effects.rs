@@ -62,12 +62,8 @@ impl SystemEffects {
     /// Applies the interval-based overheads to a raw cycle count.
     pub fn inflate_cycles(&self, cycles: u64) -> u64 {
         let mut extra = 0u64;
-        if self.timer_interval > 0 {
-            extra += (cycles / self.timer_interval) * self.timer_cost;
-        }
-        if self.refresh_interval > 0 {
-            extra += (cycles / self.refresh_interval) * self.refresh_cost;
-        }
+        extra += cycles.checked_div(self.timer_interval).unwrap_or(0) * self.timer_cost;
+        extra += cycles.checked_div(self.refresh_interval).unwrap_or(0) * self.refresh_cost;
         cycles + extra
     }
 

@@ -25,7 +25,7 @@
 
 use crate::{
     encode::{EncodedInst, IMM_MAX, IMM_MIN},
-    program::{Program, DEFAULT_DATA_BASE},
+    program::{Program, ReservedRegion, DEFAULT_DATA_BASE},
     Cond, MemWidth, Opcode, Reg,
 };
 
@@ -67,6 +67,7 @@ pub struct Asm {
     table_fixups: Vec<TableFixup>,
     data: Vec<(u64, Vec<u8>)>,
     init_regs: Vec<(u8, u64)>,
+    reserved: Vec<ReservedRegion>,
     next_data: u64,
 }
 
@@ -87,6 +88,7 @@ impl Asm {
             table_fixups: Vec::new(),
             data: Vec::new(),
             init_regs: Vec::new(),
+            reserved: Vec::new(),
             next_data: DEFAULT_DATA_BASE,
         }
     }
@@ -142,20 +144,45 @@ impl Asm {
 
     // ---- Data segment -------------------------------------------------
 
-    /// Reserves `bytes` of zero-initialised data and returns its address.
-    ///
-    /// The region is aligned to `align` (which must be a power of two).
-    pub fn reserve(&mut self, bytes: u64, align: u64) -> u64 {
+    fn reserve_with(&mut self, bytes: u64, align: u64, initialized: bool) -> u64 {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         self.next_data = (self.next_data + align - 1) & !(align - 1);
         let addr = self.next_data;
         self.next_data += bytes;
+        if bytes > 0 {
+            self.reserved.push(ReservedRegion {
+                addr,
+                len: bytes,
+                initialized,
+            });
+        }
         addr
+    }
+
+    /// Reserves `bytes` of data and returns its address, recording the
+    /// region as *uninitialised*: the emulator still zero-fills it, but
+    /// nothing in the program or its harness defines the contents, so
+    /// static analysis will flag loads from it (the paper's
+    /// uninitialised-array hazard). Use [`Asm::reserve_initialized`] for
+    /// scratch arrays the harness is understood to set up beforehand.
+    ///
+    /// The region is aligned to `align` (which must be a power of two).
+    pub fn reserve(&mut self, bytes: u64, align: u64) -> u64 {
+        self.reserve_with(bytes, align, false)
+    }
+
+    /// Reserves `bytes` of data whose contents count as defined before
+    /// execution — the model of a benchmark harness that initialises its
+    /// working set prior to the measured region.
+    ///
+    /// The region is aligned to `align` (which must be a power of two).
+    pub fn reserve_initialized(&mut self, bytes: u64, align: u64) -> u64 {
+        self.reserve_with(bytes, align, true)
     }
 
     /// Reserves a region and fills it with the given bytes.
     pub fn data_bytes(&mut self, bytes: Vec<u8>, align: u64) -> u64 {
-        let addr = self.reserve(bytes.len() as u64, align);
+        let addr = self.reserve_with(bytes.len() as u64, align, true);
         self.data.push((addr, bytes));
         addr
     }
@@ -483,6 +510,7 @@ impl Asm {
             table_fixups,
             mut data,
             init_regs,
+            reserved,
             ..
         } = self;
         let code_base = crate::program::DEFAULT_CODE_BASE;
@@ -495,8 +523,9 @@ impl Asm {
                 "branch offset out of range"
             );
             let old = code[f.inst_idx].0;
-            code[f.inst_idx] =
-                EncodedInst((old & 0x0000_000f_ffff_ffff) | (((offset as u64) & 0x0fff_ffff) << 36));
+            code[f.inst_idx] = EncodedInst(
+                (old & 0x0000_000f_ffff_ffff) | (((offset as u64) & 0x0fff_ffff) << 36),
+            );
         }
         for f in addr_fixups {
             let target = labels[f.label.0].expect("unbound label referenced by address load");
@@ -521,6 +550,7 @@ impl Asm {
             code_base,
             data,
             init_regs,
+            reserved,
         }
     }
 }

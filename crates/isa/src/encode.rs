@@ -67,7 +67,7 @@ impl EncodedInst {
         rm: Reg,
         imm: i64,
     ) -> Result<EncodedInst, EncodeError> {
-        if imm < IMM_MIN || imm > IMM_MAX {
+        if !(IMM_MIN..=IMM_MAX).contains(&imm) {
             return Err(EncodeError::ImmOutOfRange(imm));
         }
         if aux > 0xf {
@@ -168,8 +168,7 @@ mod tests {
     #[test]
     fn imm_extremes() {
         for imm in [IMM_MIN, IMM_MAX, 0, 1, -1] {
-            let e =
-                EncodedInst::build(Opcode::Nop, 0, Reg::XZR, Reg::XZR, Reg::XZR, imm).unwrap();
+            let e = EncodedInst::build(Opcode::Nop, 0, Reg::XZR, Reg::XZR, Reg::XZR, imm).unwrap();
             assert_eq!(e.imm(), imm, "imm {imm}");
         }
         assert!(matches!(

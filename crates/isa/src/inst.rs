@@ -233,10 +233,7 @@ mod tests {
             target: 0x2000,
         };
         assert_eq!(d.next_pc(), 0x2000);
-        let d2 = DynInst {
-            taken: false,
-            ..d
-        };
+        let d2 = DynInst { taken: false, ..d };
         assert_eq!(d2.next_pc(), 0x1004);
         let plain = DynInst {
             pc: 0x1000,

@@ -55,10 +55,12 @@ mod reg;
 
 pub use class::InstClass;
 pub use cond::{cond_flags_for_cmp, Cond, Flags};
-pub use encode::{EncodedInst, EncodeError};
+pub use encode::{EncodeError, EncodedInst};
 pub use inst::{DynInst, MemWidth, StaticInst, MAX_DSTS, MAX_SRCS};
 pub use opcode::Opcode;
-pub use program::{Program, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, DEFAULT_STACK_TOP};
+pub use program::{
+    Program, ReservedRegion, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, DEFAULT_STACK_TOP,
+};
 pub use reg::{Reg, RegClass};
 
 /// Architectural size, in bytes, of one instruction.

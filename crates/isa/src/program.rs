@@ -10,6 +10,35 @@ pub const DEFAULT_DATA_BASE: u64 = 0x1000_0000;
 /// Default initial stack pointer (stacks grow down).
 pub const DEFAULT_STACK_TOP: u64 = 0x7fff_0000;
 
+/// A data-segment region carved out by the assembler, with provenance:
+/// whether the benchmark harness is understood to have initialised it
+/// before the measured region starts.
+///
+/// Regions filled with an explicit data image (`data_bytes`, `data_u64s`,
+/// pointer tables) are always `initialized`. Regions that are merely
+/// reserved come in two flavours: `Asm::reserve_initialized` models an
+/// array the harness memsets before measuring, while plain `Asm::reserve`
+/// leaves the array uninitialised — the hazard the paper hit with "a
+/// couple memory-intensive micro-benchmarks \[that\] access an
+/// uninitialized array". Static analysis keys off this flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservedRegion {
+    /// First virtual address of the region.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether the region's contents are defined before execution starts.
+    pub initialized: bool,
+}
+
+impl ReservedRegion {
+    /// Whether `addr` falls inside this region.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr - self.addr < self.len
+    }
+}
+
 /// A complete executable program: code, initial data image and initial
 /// register values.
 ///
@@ -29,6 +58,9 @@ pub struct Program {
     /// Registers are identified by [`crate::Reg::index`]; the stack pointer
     /// is initialised to [`DEFAULT_STACK_TOP`] unless overridden here.
     pub init_regs: Vec<(u8, u64)>,
+    /// Data-segment regions the assembler carved out, with their
+    /// initialisation provenance (see [`ReservedRegion`]).
+    pub reserved: Vec<ReservedRegion>,
 }
 
 impl Program {
@@ -39,6 +71,20 @@ impl Program {
             code_base: DEFAULT_CODE_BASE,
             data: Vec::new(),
             init_regs: Vec::new(),
+            reserved: Vec::new(),
+        }
+    }
+
+    /// The reserved region containing `addr`, if any.
+    pub fn region_containing(&self, addr: u64) -> Option<&ReservedRegion> {
+        self.reserved.iter().find(|r| r.contains(addr))
+    }
+
+    /// Marks every reserved region as initialised — the paper's remedy of
+    /// "initializing the arrays prior to simulation".
+    pub fn mark_all_initialized(&mut self) {
+        for r in &mut self.reserved {
+            r.initialized = true;
         }
     }
 

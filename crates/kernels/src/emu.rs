@@ -222,7 +222,8 @@ impl<'p> Machine<'p> {
                 return Err(EmuError::InstLimit { limit });
             }
             let record = self.step(op, word, pc)?;
-            sink.push(record).map_err(|e| EmuError::Sink(e.to_string()))?;
+            sink.push(record)
+                .map_err(|e| EmuError::Sink(e.to_string()))?;
             executed += 1;
         }
     }
@@ -240,7 +241,10 @@ impl<'p> Machine<'p> {
         let branch_to = |this: &mut Machine<'_>, target_idx: i64| -> Result<u64, EmuError> {
             if target_idx < 0 || target_idx as usize > this.program.code.len() {
                 return Err(EmuError::BadPc {
-                    pc: this.program.code_base.wrapping_add((target_idx * INST_BYTES as i64) as u64),
+                    pc: this
+                        .program
+                        .code_base
+                        .wrapping_add((target_idx * INST_BYTES as i64) as u64),
                 });
             }
             Ok(target_idx as u64)
@@ -263,7 +267,7 @@ impl<'p> Machine<'p> {
             Mul => self.xw(rd, self.xr(rn).wrapping_mul(self.xr(rm))),
             Udiv => {
                 let d = self.xr(rm);
-                self.xw(rd, if d == 0 { 0 } else { self.xr(rn) / d });
+                self.xw(rd, self.xr(rn).checked_div(d).unwrap_or(0));
             }
             Sdiv => {
                 let d = self.xr(rm) as i64;
@@ -477,7 +481,13 @@ mod tests {
             let data = a.data_u64s(&[0x1111, 0x2222, 0x3333]);
             a.mov64(Reg::x(1), data);
             a.movz(Reg::x(2), 8);
-            a.ldr(racesim_isa::MemWidth::B8, Reg::x(3), Reg::x(1), Reg::x(2), 0); // [x1+x2]
+            a.ldr(
+                racesim_isa::MemWidth::B8,
+                Reg::x(3),
+                Reg::x(1),
+                Reg::x(2),
+                0,
+            ); // [x1+x2]
             a.ldr8(Reg::x(4), Reg::x(1), 16);
             a.add(Reg::x(5), Reg::x(3), Reg::x(4));
             a.str8(Reg::x(5), Reg::x(1), 0);
@@ -534,7 +544,13 @@ mod tests {
         let (m, _) = run_prog(|a| {
             let data = a.data_u64s(&[1.5f64.to_bits(), 2.5f64.to_bits()]);
             a.mov64(Reg::x(1), data);
-            a.ldr(racesim_isa::MemWidth::B16, Reg::v(0), Reg::x(1), Reg::XZR, 0);
+            a.ldr(
+                racesim_isa::MemWidth::B16,
+                Reg::v(0),
+                Reg::x(1),
+                Reg::XZR,
+                0,
+            );
             a.vfadd(Reg::v(1), Reg::v(0), Reg::v(0)); // [3.0, 5.0]
             a.vfma(Reg::v(2), Reg::v(1), Reg::v(1)); // 0 + [9, 25]
         });
@@ -617,10 +633,7 @@ mod tests {
         let p = a.finish();
         let mut m = Machine::new(&p);
         let mut buf = TraceBuffer::new();
-        assert!(matches!(
-            m.run(100, &mut buf),
-            Err(EmuError::BadPc { .. })
-        ));
+        assert!(matches!(m.run(100, &mut buf), Err(EmuError::BadPc { .. })));
     }
 
     #[test]

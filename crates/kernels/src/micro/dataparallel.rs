@@ -170,10 +170,7 @@ mod tests {
         let first_store = buf
             .records()
             .iter()
-            .find(|r| {
-                r.ea().is_some()
-                    && r.word().opcode() == Some(racesim_isa::Opcode::Str)
-            })
+            .find(|r| r.ea().is_some() && r.word().opcode() == Some(racesim_isa::Opcode::Str))
             .unwrap();
         let bits = m.mem.read_le(first_store.ea().unwrap(), 8);
         assert_eq!(f64::from_bits(bits), 1.0 + 3.0 * 3.0);

@@ -103,8 +103,7 @@ mod tests {
         assert_eq!(suite.len(), 40);
         let names: HashSet<&str> = suite.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(names.len(), 40);
-        let ref_names: HashSet<&str> =
-            table1_reference_counts().iter().map(|(n, _)| *n).collect();
+        let ref_names: HashSet<&str> = table1_reference_counts().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ref_names, "suite matches Table I naming");
     }
 

@@ -244,15 +244,17 @@ pub fn build_proxy(p: &AppProfile, scale: Scale) -> Workload {
     let target = (p.insn_count / SPEC_EXTRA_DIVISOR).max(1);
     let target = scale.apply(target).max(16_384);
     let mut rng = StdRng::seed_from_u64(
-        p.name.bytes().fold(0xCAFEu64, |h, b| {
-            h.wrapping_mul(131).wrapping_add(b as u64)
-        }),
+        p.name
+            .bytes()
+            .fold(0xCAFEu64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
     );
 
     let mut a = Asm::new();
     // --- Data layout ----------------------------------------------------
     let ws_bytes = p.ws_kb as u64 * 1024;
-    let array = a.reserve(ws_bytes, 4096);
+    // SPEC applications initialise their working sets long before the
+    // simulated region of interest.
+    let array = a.reserve_initialized(ws_bytes, 4096);
     let chase_head = if p.pointer_chase {
         Some(build_chase(
             &mut a,

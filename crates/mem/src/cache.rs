@@ -274,12 +274,9 @@ impl Cache {
         let old = self.ways[idx];
         let mut writeback = None;
         if old.valid {
-            match self.victim_insert(old.tag, old.dirty) {
-                Some(wb) => {
-                    self.stats.writebacks += 1;
-                    writeback = Some(wb);
-                }
-                None => {}
+            if let Some(wb) = self.victim_insert(old.tag, old.dirty) {
+                self.stats.writebacks += 1;
+                writeback = Some(wb);
             }
         }
         self.clock += 1;

@@ -21,12 +21,12 @@ fn largest_prime_at_most(n: u32) -> u32 {
         if x < 2 {
             return false;
         }
-        if x % 2 == 0 {
+        if x.is_multiple_of(2) {
             return x == 2;
         }
         let mut d = 3u32;
         while (d as u64) * (d as u64) <= x as u64 {
-            if x % d == 0 {
+            if x.is_multiple_of(d) {
                 return false;
             }
             d += 2;

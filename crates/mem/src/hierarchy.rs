@@ -280,7 +280,9 @@ impl MemoryHierarchy {
             LookupOutcome::VictimHit => (start + self.l2_lat + self.l2_serial + 2, Level::L2),
             LookupOutcome::Miss { writeback } => {
                 let tag_time = start + self.l2_lat;
-                let stall = self.l2_mshrs.acquire(tag_time, tag_time + self.dram.latency());
+                let stall = self
+                    .l2_mshrs
+                    .acquire(tag_time, tag_time + self.dram.latency());
                 let done = self.dram.access(tag_time + stall);
                 if writeback.is_some() {
                     // Dirty L2 eviction: consumes DRAM bandwidth only.
@@ -408,8 +410,7 @@ impl MemoryHierarchy {
                             // but the store completes quickly locally.
                             let t = self.l2_ports.admit(tag_time);
                             let l2_block = addr >> self.l2_shift;
-                            if let LookupOutcome::Miss { .. } =
-                                self.l2.access(l2_block, true, true)
+                            if let LookupOutcome::Miss { .. } = self.l2.access(l2_block, true, true)
                             {
                                 self.dram.access(t + self.l2_lat);
                             }
@@ -418,9 +419,8 @@ impl MemoryHierarchy {
                                 level: Level::L2,
                             }
                         } else {
-                            let stall = self
-                                .l1d_mshrs
-                                .acquire(tag_time, tag_time + self.l2_lat + 1);
+                            let stall =
+                                self.l1d_mshrs.acquire(tag_time, tag_time + self.l2_lat + 1);
                             let (done, level) = self.l2_fill(addr, tag_time + stall);
                             AccessResult {
                                 latency: done - cycle,

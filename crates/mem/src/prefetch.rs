@@ -158,7 +158,7 @@ struct GhbEntry {
 #[derive(Debug, Clone)]
 pub struct GhbPrefetcher {
     buffer: Vec<GhbEntry>,
-    head: u64, // monotone count of pushed entries
+    head: u64,              // monotone count of pushed entries
     index: Vec<(u64, u64)>, // (pc_tag, last_seq) per index-table slot
     index_mask: u64,
     degree: u8,

@@ -63,8 +63,7 @@ impl Tuner for RandomSearch {
         while budget > 0 && free_rides < 1000 {
             let cfg = model.sample(space, &mut rng);
             let before = budget;
-            let Some(score) = full_eval(space, &cfg, cost, &cache, n_instances, &mut budget)
-            else {
+            let Some(score) = full_eval(space, &cfg, cost, &cache, n_instances, &mut budget) else {
                 break;
             };
             if before == budget {
@@ -77,13 +76,13 @@ impl Tuner for RandomSearch {
                 best = Some((cfg, score));
             }
         }
-        let (best, best_cost) =
-            best.unwrap_or_else(|| (space.default_configuration(), f64::NAN));
+        let (best, best_cost) = best.unwrap_or_else(|| (space.default_configuration(), f64::NAN));
         TuneResult {
             best: best.clone(),
             best_cost,
             elites: vec![(best, best_cost)],
             evals_used: evals,
+            pruned: 0,
             history: Vec::new(),
         }
     }
@@ -138,8 +137,7 @@ impl Tuner for GridSearch {
         let mut best: Option<(Configuration, f64)> = None;
         loop {
             let before = budget;
-            let Some(score) = full_eval(space, &cfg, cost, &cache, n_instances, &mut budget)
-            else {
+            let Some(score) = full_eval(space, &cfg, cost, &cache, n_instances, &mut budget) else {
                 break;
             };
             evals += before - budget;
@@ -150,13 +148,13 @@ impl Tuner for GridSearch {
                 break;
             }
         }
-        let (best, best_cost) =
-            best.unwrap_or_else(|| (space.default_configuration(), f64::NAN));
+        let (best, best_cost) = best.unwrap_or_else(|| (space.default_configuration(), f64::NAN));
         TuneResult {
             best: best.clone(),
             best_cost,
             elites: vec![(best, best_cost)],
             evals_used: evals,
+            pruned: 0,
             history: Vec::new(),
         }
     }

@@ -62,4 +62,4 @@ pub use baseline::{GridSearch, RandomSearch};
 pub use model::SamplingModel;
 pub use param::{Configuration, Domain, Param, ParamSpace, Value};
 pub use race::{race, EliminationTest, RaceLogEntry, RaceResult, RaceSettings};
-pub use tuner::{CostFn, IterationSummary, RacingTuner, TuneResult, Tuner, TunerSettings};
+pub use tuner::{CostFn, IterationSummary, Pruner, RacingTuner, TuneResult, Tuner, TunerSettings};

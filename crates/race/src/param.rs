@@ -77,19 +77,52 @@ impl ParamSpace {
         self.params.push(p);
     }
 
-    /// Adds a categorical parameter.
+    /// Adds a parameter with a caller-built domain, **without**
+    /// normalising the candidate list.
+    ///
+    /// This is the escape hatch for spaces read from external
+    /// descriptions, where the candidate list must be preserved verbatim;
+    /// the builder methods ([`ParamSpace::add_integer`],
+    /// [`ParamSpace::add_categorical`]) canonicalise instead. A
+    /// duplicated or unsorted list skews the sampling weights — the
+    /// `racesim-analyzer` lints RA002/RA003 exist to catch that on this
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate parameter name or an empty domain.
+    pub fn add_param(&mut self, p: Param) {
+        self.push(p);
+    }
+
+    /// Adds a categorical parameter. Repeated choices are dropped (first
+    /// occurrence wins) so no alternative carries twice the sampling
+    /// weight; choice order is otherwise preserved — the first choice is
+    /// the default.
     pub fn add_categorical(&mut self, name: &str, choices: &[&str]) {
+        let mut cs: Vec<String> = Vec::with_capacity(choices.len());
+        for c in choices {
+            if !cs.iter().any(|x| x == c) {
+                cs.push((*c).to_string());
+            }
+        }
         self.push(Param {
             name: name.to_string(),
-            domain: Domain::Categorical(choices.iter().map(|s| s.to_string()).collect()),
+            domain: Domain::Categorical(cs),
         });
     }
 
-    /// Adds an ordered discrete numeric parameter.
+    /// Adds an ordered discrete numeric parameter. The candidate list is
+    /// sorted ascending and deduplicated: elite-neighbourhood sampling
+    /// treats list adjacency as value adjacency, and a duplicated
+    /// candidate would silently double its sampling weight.
     pub fn add_integer(&mut self, name: &str, values: &[i64]) {
+        let mut vs = values.to_vec();
+        vs.sort_unstable();
+        vs.dedup();
         self.push(Param {
             name: name.to_string(),
-            domain: Domain::Integer(values.to_vec()),
+            domain: Domain::Integer(vs),
         });
     }
 
@@ -346,6 +379,32 @@ mod tests {
         let s = space();
         let c = s.default_configuration();
         assert_eq!(c.render(&s), "predictor=bimodal, rob=32, prefetch=false");
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduplicated() {
+        let mut s = ParamSpace::new();
+        s.add_integer("x", &[16, 4, 8, 4, 2, 16]);
+        s.add_categorical("c", &["b", "a", "b"]);
+        match &s.params()[0].domain {
+            Domain::Integer(vs) => assert_eq!(vs, &[2, 4, 8, 16]),
+            d => panic!("unexpected domain {d}"),
+        }
+        match &s.params()[1].domain {
+            // First occurrence wins; order is meaning, not magnitude.
+            Domain::Categorical(cs) => assert_eq!(cs, &["b", "a"]),
+            d => panic!("unexpected domain {d}"),
+        }
+        // The raw path keeps whatever it is given (the analyzer lints
+        // police it instead).
+        s.add_param(Param {
+            name: "raw".to_string(),
+            domain: Domain::Integer(vec![8, 4, 8]),
+        });
+        match &s.params()[2].domain {
+            Domain::Integer(vs) => assert_eq!(vs, &[8, 4, 8]),
+            d => panic!("unexpected domain {d}"),
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub struct RaceResult {
 
 /// Evaluates `configs[i]` on `instance` for every alive index, in
 /// parallel, returning the fresh-evaluation count.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_block(
     space: &ParamSpace,
     configs: &[Configuration],
@@ -80,9 +81,7 @@ fn evaluate_block(
     let mut seen = std::collections::HashSet::new();
     let todo: Vec<usize> = (0..configs.len())
         .filter(|&i| {
-            alive[i]
-                && cache.get(&configs[i], instance).is_none()
-                && seen.insert(&configs[i])
+            alive[i] && cache.get(&configs[i], instance).is_none() && seen.insert(&configs[i])
         })
         .collect();
     let fresh = todo.len() as u64;
@@ -213,8 +212,7 @@ pub fn race(
         // Respect the survivor floor: spare the best of the condemned.
         let max_kills = alive_count.saturating_sub(settings.min_survivors);
         if to_kill.len() > max_kills {
-            to_kill
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            to_kill.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             to_kill.truncate(max_kills);
         }
         for (j, _) in to_kill {
@@ -315,7 +313,14 @@ mod tests {
             ..RaceSettings::default()
         };
         let r = race(
-            &s, &cfgs, &order, &SyntheticCost, &cache, &settings, &mut budget, 1,
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &settings,
+            &mut budget,
+            1,
         );
         assert!(r.survivors.len() >= 4);
     }
@@ -376,7 +381,14 @@ mod tests {
             ..RaceSettings::default()
         };
         let r = race(
-            &s, &cfgs, &order, &SyntheticCost, &cache, &settings, &mut budget, 1,
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &settings,
+            &mut budget,
+            1,
         );
         assert_eq!(r.survivors[0], 0);
     }

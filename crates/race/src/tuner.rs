@@ -90,9 +90,18 @@ pub struct TuneResult {
     pub elites: Vec<(Configuration, f64)>,
     /// Fresh evaluations actually used.
     pub evals_used: u64,
+    /// Sampled configurations rejected by the pruner before any
+    /// simulation was spent on them.
+    pub pruned: u64,
     /// Per-iteration summaries.
     pub history: Vec<IterationSummary>,
 }
+
+/// A predicate that rejects statically unrealisable configurations before
+/// the tuner spends simulation budget on them. Returns the name of the
+/// violated invariant (typically a lint code from `racesim-analyzer`), or
+/// `None` if the configuration is admissible.
+pub type Pruner = std::sync::Arc<dyn Fn(&Configuration) -> Option<String> + Send + Sync>;
 
 /// Anything that can search a parameter space against a cost function —
 /// implemented by [`RacingTuner`] and the baselines.
@@ -103,15 +112,35 @@ pub trait Tuner {
 }
 
 /// The iterated-racing tuner (irace reimplementation).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RacingTuner {
     settings: TunerSettings,
+    pruner: Option<Pruner>,
+}
+
+impl std::fmt::Debug for RacingTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RacingTuner")
+            .field("settings", &self.settings)
+            .field("pruner", &self.pruner.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl RacingTuner {
     /// Creates a tuner with the given settings.
     pub fn new(settings: TunerSettings) -> RacingTuner {
-        RacingTuner { settings }
+        RacingTuner {
+            settings,
+            pruner: None,
+        }
+    }
+
+    /// Installs a pruner: sampled configurations it rejects are dropped
+    /// (and counted in [`TuneResult::pruned`]) instead of being raced.
+    pub fn with_pruner(mut self, pruner: Pruner) -> RacingTuner {
+        self.pruner = Some(pruner);
+        self
     }
 
     /// The settings in use.
@@ -135,6 +164,7 @@ impl Tuner for RacingTuner {
         let mut elites: Vec<(Configuration, f64)> = Vec::new();
         let mut history = Vec::new();
         let mut evals_total = 0u64;
+        let mut pruned_total = 0u64;
         let started = std::time::Instant::now();
 
         for iter in 0..n_iters {
@@ -155,8 +185,7 @@ impl Tuner for RacingTuner {
                 .clamp(st.race.min_survivors as u64 + 2, 64) as usize;
 
             // Assemble the iteration's configurations: elites first.
-            let mut configs: Vec<Configuration> =
-                elites.iter().map(|(c, _)| c.clone()).collect();
+            let mut configs: Vec<Configuration> = elites.iter().map(|(c, _)| c.clone()).collect();
             let want = n_new + elites.len();
             // A concentrated model may keep producing duplicates; cap the
             // attempts so a converged search cannot spin forever.
@@ -172,6 +201,12 @@ impl Tuner for RacingTuner {
                         ((w * w) * elites.len() as f64).floor() as usize % elites.len();
                     model.sample_around(space, &elites[parent_idx].0, &mut rng)
                 };
+                if let Some(p) = &self.pruner {
+                    if p(&c).is_some() {
+                        pruned_total += 1;
+                        continue;
+                    }
+                }
                 if !configs.contains(&c) {
                     configs.push(c);
                 }
@@ -235,6 +270,7 @@ impl Tuner for RacingTuner {
             best_cost,
             elites,
             evals_used: evals_total,
+            pruned: pruned_total,
             history,
         }
     }
@@ -362,6 +398,53 @@ mod tests {
         .tune(&s, &Bowl, 12);
         assert!(r.history.is_empty(), "no iteration may start at 0s");
         assert_eq!(r.evals_used, 0);
+    }
+
+    #[test]
+    fn pruner_keeps_rejected_configurations_out_of_the_race() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        // A cost function that records every distinct configuration it is
+        // asked to simulate.
+        struct Recording {
+            seen: Mutex<HashSet<String>>,
+        }
+        impl CostFn for Recording {
+            fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+                self.seen.lock().unwrap().insert(cfg.render(space));
+                Bowl.cost(cfg, space, instance)
+            }
+        }
+        let run = |prune: bool| {
+            let s = space();
+            let mut tuner = RacingTuner::new(TunerSettings {
+                budget: 2_000,
+                seed: 17,
+                ..TunerSettings::default()
+            });
+            if prune {
+                tuner = tuner.with_pruner(std::sync::Arc::new(move |c: &Configuration| {
+                    let s = space();
+                    (c.categorical(&s, "mode") == "awful").then(|| "RA-awful".to_string())
+                }));
+            }
+            let cost = Recording {
+                seen: Mutex::new(HashSet::new()),
+            };
+            let r = tuner.tune(&s, &cost, 12);
+            let simulated = cost.seen.into_inner().unwrap();
+            let awful = simulated.iter().filter(|c| c.contains("awful")).count();
+            (r, simulated.len(), awful)
+        };
+
+        let (free, _, awful_free) = run(false);
+        let (pruned, _, awful_pruned) = run(true);
+        assert_eq!(free.pruned, 0);
+        assert!(awful_free > 0, "unpruned run explores invalid configs");
+        assert_eq!(awful_pruned, 0, "pruned run never simulates them");
+        assert!(pruned.pruned > 0, "the pruner actually rejected samples");
+        assert!(pruned.best_cost.is_finite());
     }
 
     #[test]

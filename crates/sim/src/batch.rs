@@ -25,10 +25,7 @@ pub fn run_batch(
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<Result<SimStats, SimError>>> = vec![None; jobs.len()];
-    let slots: Vec<_> = results
-        .iter_mut()
-        .map(|r| std::sync::Mutex::new(r))
-        .collect();
+    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {

@@ -267,10 +267,7 @@ fn parse_sections(text: &str) -> Result<Parsed, ConfigError> {
         let Some((k, v)) = line.split_once('=') else {
             return Err(ConfigError::BadLine { line: no + 1 });
         };
-        map.insert(
-            format!("{section}.{}", k.trim()),
-            v.trim().to_string(),
-        );
+        map.insert(format!("{section}.{}", k.trim()), v.trim().to_string());
     }
     Ok(Parsed { map })
 }

@@ -139,8 +139,7 @@ impl Simulator {
         let mut mem = MemoryHierarchy::new(&self.platform.mem);
         let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
 
-        if self.options.prefill_code || self.options.prefill_data || self.options.prefill_data_l2
-        {
+        if self.options.prefill_code || self.options.prefill_data || self.options.prefill_data_l2 {
             for r in records {
                 if self.options.prefill_code {
                     mem.prefill_code(r.pc());
@@ -159,12 +158,10 @@ impl Simulator {
             let stat = match decode_cache.get(&r.word()) {
                 Some(s) => *s,
                 None => {
-                    let s = self.decoder.decode(r.word()).map_err(|source| {
-                        SimError::Decode {
-                            pc: r.pc(),
-                            source,
-                        }
-                    })?;
+                    let s = self
+                        .decoder
+                        .decode(r.word())
+                        .map_err(|source| SimError::Decode { pc: r.pc(), source })?;
                     decode_cache.insert(r.word(), s);
                     s
                 }
@@ -202,11 +199,8 @@ mod tests {
         let p = a.finish();
         let mut t = TraceBuffer::new();
         for _ in 0..iters {
-            racesim_trace::TraceSink::push(
-                &mut t,
-                TraceRecord::plain(p.pc_of(0), p.code[0]),
-            )
-            .unwrap();
+            racesim_trace::TraceSink::push(&mut t, TraceRecord::plain(p.pc_of(0), p.code[0]))
+                .unwrap();
             racesim_trace::TraceSink::push(
                 &mut t,
                 TraceRecord::memory(p.pc_of(1), p.code[1], 0x8000),

@@ -33,10 +33,7 @@ pub fn friedman_test(costs: &[Vec<f64>]) -> Option<FriedmanOutcome> {
     assert!(n >= 2, "Friedman needs at least two blocks");
     let k = costs[0].len();
     assert!(k >= 2, "Friedman needs at least two configurations");
-    assert!(
-        costs.iter().all(|row| row.len() == k),
-        "ragged cost matrix"
-    );
+    assert!(costs.iter().all(|row| row.len() == k), "ragged cost matrix");
 
     let mut rank_sums = vec![0.0; k];
     let mut tie_correction = 0.0; // sum over blocks of (sum t^3 - t)
@@ -146,6 +143,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::module_inception)]
 mod tests {
     use super::*;
 
@@ -207,7 +205,7 @@ mod tests {
         assert!(t < 0.0);
         assert!(p < 1e-6, "p = {p}");
 
-        let (_, p_same) = paired_t_test(&a, &a.to_vec());
+        let (_, p_same) = paired_t_test(&a, &a);
         assert!((p_same - 1.0).abs() < 1e-12);
     }
 

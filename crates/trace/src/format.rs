@@ -307,8 +307,10 @@ mod tests {
     fn truncation_is_an_error_not_silent_eof() {
         let mut bytes = Vec::new();
         let mut w = TraceWriter::new(&mut bytes).unwrap();
-        w.write(&TraceRecord::plain(0x1000, EncodedInst(1))).unwrap();
-        w.write(&TraceRecord::plain(0x1004, EncodedInst(2))).unwrap();
+        w.write(&TraceRecord::plain(0x1000, EncodedInst(1)))
+            .unwrap();
+        w.write(&TraceRecord::plain(0x1004, EncodedInst(2)))
+            .unwrap();
         // No finish(): stream lacks the end marker.
         let mut r = TraceReader::new(bytes.as_slice()).unwrap();
         assert!(r.next_record().unwrap().is_some());

@@ -6,13 +6,19 @@ use racesim_isa::EncodedInst;
 use racesim_trace::{TraceBuffer, TraceReader, TraceRecord};
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), 0u8..3, any::<bool>()).prop_map(
-        |(pc, word, ea, target, kind, taken)| match kind {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(pc, word, ea, target, kind, taken)| match kind {
             0 => TraceRecord::plain(pc, EncodedInst(word)),
             1 => TraceRecord::memory(pc, EncodedInst(word), ea),
             _ => TraceRecord::branch(pc, EncodedInst(word), taken, target),
-        },
-    )
+        })
 }
 
 proptest! {
@@ -29,7 +35,7 @@ proptest! {
         // Dictionary compression must not change semantics when the same pc
         // is revisited with an identical word.
         let rec = TraceRecord::memory(0x4000, EncodedInst(word), 0x100);
-        let buf: TraceBuffer = std::iter::repeat(rec).take(n).collect();
+        let buf: TraceBuffer = std::iter::repeat_n(rec, n).collect();
         let bytes = buf.write_to(Vec::new()).unwrap();
         let back = TraceBuffer::from_reader(TraceReader::new(bytes.as_slice()).unwrap()).unwrap();
         prop_assert_eq!(back.records(), buf.records());

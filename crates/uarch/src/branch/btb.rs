@@ -23,7 +23,10 @@ impl Btb {
             entries > 0 && entries.is_power_of_two(),
             "BTB entries must be a power of two"
         );
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let sets = (entries / ways) as usize;
         assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
         Btb {
@@ -81,7 +84,7 @@ mod tests {
     #[test]
     fn conflicting_pcs_evict_lru() {
         let mut b = Btb::new(4, 2); // 2 sets x 2 ways
-        // Three pcs in the same set (stride = sets*4 = 8 bytes).
+                                    // Three pcs in the same set (stride = sets*4 = 8 bytes).
         b.update(0x1000, 1);
         b.update(0x1008, 2);
         b.lookup(0x1000); // lookup does not refresh LRU (no clock bump)

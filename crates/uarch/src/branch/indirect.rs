@@ -99,6 +99,9 @@ mod tests {
             }
             p.update(0x100, t);
         }
-        assert!(correct >= 90, "path history should learn the cycle: {correct}");
+        assert!(
+            correct >= 90,
+            "path history should learn the cycle: {correct}"
+        );
     }
 }

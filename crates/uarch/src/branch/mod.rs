@@ -221,15 +221,14 @@ impl BranchUnit {
                 if predicted_taken != actual_taken {
                     self.stats.direction_mispredicts += 1;
                     resolution = BranchResolution::Mispredict;
-                } else if actual_taken && !self.btb.lookup(pc).is_some_and(|t| t == actual_target)
-                {
+                } else if actual_taken && self.btb.lookup(pc).is_none_or(|t| t != actual_target) {
                     resolution = BranchResolution::BtbMiss;
                 }
             }
             InstClass::BranchUncond => {
                 // Direction always known; only the target supply (BTB)
                 // matters for the fetch stream.
-                if !self.btb.lookup(pc).is_some_and(|t| t == actual_target) {
+                if self.btb.lookup(pc).is_none_or(|t| t != actual_target) {
                     resolution = BranchResolution::BtbMiss;
                 }
             }
@@ -244,7 +243,7 @@ impl BranchUnit {
                         self.stats.indirect_mispredicts += 1;
                         resolution = BranchResolution::Mispredict;
                     }
-                } else if !self.btb.lookup(pc).is_some_and(|t| t == actual_target) {
+                } else if self.btb.lookup(pc).is_none_or(|t| t != actual_target) {
                     resolution = BranchResolution::BtbMiss;
                 }
             }

@@ -149,8 +149,7 @@ impl InOrderCore {
                 }
                 k if k.is_fp_or_simd() => {
                     ok &= s.fp < self.fp_units;
-                    if matches!(class, InstClass::FpDiv | InstClass::FpSqrt) && self.div_blocking
-                    {
+                    if matches!(class, InstClass::FpDiv | InstClass::FpSqrt) && self.div_blocking {
                         ok &= c >= self.fp_div_free;
                     }
                 }
@@ -249,8 +248,9 @@ impl CoreModel for InOrderCore {
                         self.cur_line = u64::MAX; // refetch after the flush
                     }
                     BranchResolution::BtbMiss => {
-                        self.fetch_cycle =
-                            self.fetch_cycle.max(f + 1 + self.branch_unit.btb_miss_penalty);
+                        self.fetch_cycle = self
+                            .fetch_cycle
+                            .max(f + 1 + self.branch_unit.btb_miss_penalty);
                     }
                     BranchResolution::Correct => {}
                 }

@@ -131,7 +131,7 @@ mod tests {
             if c.is_memory() {
                 assert_eq!(l, 0, "{c}");
             } else {
-                assert!(l >= 1 && l <= 64, "{c}: {l}");
+                assert!((1..=64).contains(&l), "{c}: {l}");
             }
         }
     }

@@ -221,9 +221,7 @@ impl OooCore {
             self.line_ready = self.fetch_cycle + extra;
             self.cur_line = line;
         }
-        let f = self
-            .fetch_bw
-            .admit(self.fetch_cycle.max(self.line_ready));
+        let f = self.fetch_bw.admit(self.fetch_cycle.max(self.line_ready));
         self.fetch_cycle = f;
         f
     }
@@ -335,23 +333,18 @@ impl CoreModel for OooCore {
                 (issue, issue + exec_lat)
             }
             k if k.is_fp_or_simd() => {
-                let busy =
-                    if matches!(k, InstClass::FpDiv | InstClass::FpSqrt) && self.div_blocking {
-                        exec_lat
-                    } else {
-                        1
-                    };
+                let busy = if matches!(k, InstClass::FpDiv | InstClass::FpSqrt) && self.div_blocking
+                {
+                    exec_lat
+                } else {
+                    1
+                };
                 let issue = self.fp.issue(ready, busy);
                 (issue, issue + exec_lat)
             }
             InstClass::Barrier => {
                 // Wait for every tracked store to drain.
-                let drained = self
-                    .stores
-                    .iter()
-                    .map(|s| s.drain)
-                    .max()
-                    .unwrap_or(ready);
+                let drained = self.stores.iter().map(|s| s.drain).max().unwrap_or(ready);
                 (ready.max(drained), ready.max(drained) + 1)
             }
             _ => {
@@ -632,6 +625,10 @@ mod tests {
         let mut narrow = CoreConfig::out_of_order_default();
         narrow.ooo.retire_width = 1;
         let (s, _) = run_cfg(&insts, &narrow);
-        assert!(s.cpi() >= 0.99, "retire width 1 forces CPI >= 1: {}", s.cpi());
+        assert!(
+            s.cpi() >= 0.99,
+            "retire width 1 forces CPI >= 1: {}",
+            s.cpi()
+        );
     }
 }

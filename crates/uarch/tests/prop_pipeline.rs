@@ -42,7 +42,7 @@ fn build_stream(choices: &[(usize, u64, bool)]) -> Vec<DynInst> {
         .map(|(idx, addr, taken)| {
             let mut d = pool[*idx];
             if d.stat.is_memory() {
-                d.ea = 0x10_0000 + (addr & 0xFFFF_F8);
+                d.ea = 0x10_0000 + (addr & 0x00FF_FFF8);
             }
             if d.stat.is_branch() {
                 d.taken = *taken;

@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nno component exceeds the attention threshold — model validated.");
     }
 
-    println!("\nwinning configuration:\n  {}", outcome.best.render(&outcome.space));
+    println!(
+        "\nwinning configuration:\n  {}",
+        outcome.best.render(&outcome.space)
+    );
     Ok(())
 }

@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nevaluating the tuned model on the SPEC CPU2017 proxies...");
     let spec = spec_suite(Scale::TINY);
     let prepared = PreparedSuite::prepare(&spec, &board)?;
-    let sim = Simulator::with_decoder(
-        outcome.tuned.clone(),
-        Decoder::new(),
-        SimOptions::default(),
-    );
+    let sim = Simulator::with_decoder(outcome.tuned.clone(), Decoder::new(), SimOptions::default());
 
     let mut rows = Vec::new();
     let mut total = 0.0;

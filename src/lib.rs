@@ -45,7 +45,7 @@
 //!     outcome.untuned_mean_error(),
 //!     outcome.tuned_mean_error()
 //! );
-//! # Ok::<(), racesim::hw::MeasureError>(())
+//! # Ok::<(), racesim::core::ValidationError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -70,9 +70,7 @@ pub mod prelude {
     };
     pub use racesim_hw::{HardwarePlatform, PerfCounters, ReferenceBoard};
     pub use racesim_kernels::{microbench_suite, spec_suite, Category, Scale, Workload};
-    pub use racesim_race::{
-        Configuration, CostFn, ParamSpace, RacingTuner, Tuner, TunerSettings,
-    };
+    pub use racesim_race::{Configuration, CostFn, ParamSpace, RacingTuner, Tuner, TunerSettings};
     pub use racesim_sim::{Platform, SimStats, Simulator};
     pub use racesim_uarch::CoreKind;
 }

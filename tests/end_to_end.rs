@@ -22,8 +22,7 @@ fn a53_validation_pipeline_improves_and_generalises() {
     // ... and generalises to unseen macro workloads (SPEC proxies):
     // the tuned model should not be worse than the untuned one there.
     let spec = spec_suite(Scale::TINY);
-    let prepared =
-        racesim::core::PreparedSuite::prepare(&spec, &board).expect("spec measurable");
+    let prepared = racesim::core::PreparedSuite::prepare(&spec, &board).expect("spec measurable");
     let err_of = |p: &Platform| -> f64 {
         let sim = Simulator::new(p.clone());
         (0..prepared.len())

@@ -1,0 +1,61 @@
+//! Offline shim for `crossbeam`: the `scope` entry point, implemented on
+//! `std::thread::scope` (stable since 1.63).
+//!
+//! Behavioural difference from the real crate: a panicking worker
+//! propagates its panic when the scope joins rather than surfacing as
+//! `Err`, so the customary `.expect("worker panicked")` on the result
+//! still reports the failure, just with the worker's own message.
+
+use std::any::Any;
+use std::thread;
+
+/// Argument passed to spawned closures. The real crossbeam passes the
+/// scope itself so workers can spawn recursively; racesim's workers never
+/// do, so this is a placeholder type.
+#[derive(Debug)]
+pub struct ScopedSpawn;
+
+/// A scope in which worker threads borrowing the environment can run.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopedSpawn) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopedSpawn))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow the environment.
+/// All spawned threads are joined before this returns.
+#[allow(clippy::type_complexity)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types for
+//! source compatibility with the real serde, but never calls the traits —
+//! platform configs are serialised through `racesim_sim::config_text`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives are accepted and expand to
+//! nothing. Nothing in this workspace consumes the serde traits as bounds;
+//! config serialisation goes through `racesim_sim::config_text`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
