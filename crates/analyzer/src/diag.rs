@@ -4,7 +4,7 @@
 //! Lint codes are **stable**: once shipped, a code keeps its meaning
 //! forever so downstream tooling can filter on it. Codes are grouped by
 //! pass: `RA0xx` parameter space, `RA1xx` platform invariants, `RA2xx`
-//! kernel static analysis.
+//! kernel static analysis, `RA3xx` measurement effects.
 
 use std::fmt;
 
@@ -131,6 +131,12 @@ lints! {
     KernelUnreachable = ("RA202", "kernel-unreachable-block", Warn),
     /// A branch whose target lies outside the program's code section.
     KernelBranchOutOfRange = ("RA203", "kernel-branch-out-of-range", Error),
+
+    // ---- RA3xx: measurement-effects lints ---------------------------
+    /// The board's measurement-noise amplitude exceeds the smallest cost
+    /// difference the race's statistical tests can resolve at their
+    /// significance level: eliminations degrade into coin flips.
+    NoiseAboveResolution = ("RA301", "noise-above-resolution", Warn),
 }
 
 /// One finding: a lint instance attached to a concrete offender.

@@ -1,0 +1,156 @@
+//! Measurement-effects lints: can the race's statistics resolve
+//! differences on this board at all?
+//!
+//! A reference board injects deterministic pseudo-noise into every cycle
+//! count ([`SystemEffects::noise_amplitude`]). The racing layer eliminates
+//! configurations by paired statistical tests at significance `alpha`
+//! after `first_test` instances. If the board's noise floor is larger
+//! than the cost differences the race is asked to resolve, eliminations
+//! become coin flips: the tune "succeeds" but the winner is arbitrary.
+//! That is a specification error of the *measurement setup*, not of the
+//! model, and it is checkable statically — before any budget is spent.
+
+use crate::diag::{Diagnostic, Lint};
+use racesim_hw::SystemEffects;
+use racesim_race::RaceSettings;
+use racesim_stats::normal_sf;
+
+/// Warn when the minimum detectable cost difference exceeds this many
+/// percentage points of CPI error. Near-elite configurations differ by
+/// about a point; a board that cannot resolve that is racing blind.
+const MDD_WARN_PCT: f64 = 1.0;
+
+/// The upper `q`-quantile of the standard normal, by bisection over
+/// [`normal_sf`] (monotone decreasing). Accurate to ~1e-10, which is far
+/// below the heuristic's own precision.
+fn z_upper(q: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if normal_sf(mid) > q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The smallest mean cost difference (percentage points of CPI error) the
+/// race can reliably distinguish from this board's noise at its first
+/// elimination test.
+///
+/// Derivation: the board multiplies cycle counts by a factor uniform in
+/// `1 ± a`, so each cost carries noise of standard deviation `100a/√3`
+/// percentage points; a paired difference of two configurations doubles
+/// the variance (`× √2`); the first test averages `first_test` blocks
+/// (`/ √first_test`); the two-sided criterion at level `alpha` scales by
+/// `z(1 − alpha/2)`, inflated by a further `√2` because the race uses
+/// rank tests on a handful of blocks, not a z-test on a large sample.
+pub fn min_detectable_difference(effects: &SystemEffects, race: &RaceSettings) -> f64 {
+    let amplitude_pct = 100.0 * effects.noise_amplitude;
+    let z = z_upper((race.alpha / 2.0).clamp(1e-12, 0.5));
+    z * amplitude_pct * (2.0f64 / 3.0).sqrt() * (2.0 / race.first_test.max(1) as f64).sqrt()
+}
+
+/// Checks one board's measurement effects against the race's statistical
+/// resolution. `board` labels the diagnostics (e.g. `"a53"`).
+pub fn check(board: &str, effects: &SystemEffects, race: &RaceSettings) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mdd = min_detectable_difference(effects, race);
+    if mdd > MDD_WARN_PCT {
+        diags.push(
+            Diagnostic::new(
+                Lint::NoiseAboveResolution,
+                format!(
+                    "measurement noise (±{:.2}%) lets the race resolve cost differences only \
+                     above {:.2} percentage points at alpha={} with first_test={}; \
+                     near-elite configurations differ by less — eliminations will be noise-driven \
+                     (raise first_test, lower the noise, or loosen alpha deliberately)",
+                    100.0 * effects.noise_amplitude,
+                    mdd,
+                    race.alpha,
+                    race.first_test
+                ),
+            )
+            .with("board", board)
+            .with("noise_amplitude", effects.noise_amplitude)
+            .with("min_detectable_pct", format!("{mdd:.3}"))
+            .with("alpha", race.alpha)
+            .with("first_test", race.first_test),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_quantile_matches_the_textbook_values() {
+        assert!((z_upper(0.025) - 1.959_96).abs() < 1e-4);
+        assert!((z_upper(0.05) - 1.644_85).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shipped_cluster_presets_stay_below_the_warning_threshold() {
+        let race = RaceSettings::default();
+        for effects in [
+            SystemEffects::little_cluster(),
+            SystemEffects::big_cluster(),
+            SystemEffects::none(),
+        ] {
+            let mdd = min_detectable_difference(&effects, &race);
+            assert!(mdd <= MDD_WARN_PCT, "preset mdd {mdd} must pass");
+            assert!(check("a53", &effects, &race).is_empty());
+        }
+    }
+
+    #[test]
+    fn loud_boards_or_hasty_races_are_flagged() {
+        let race = RaceSettings::default();
+        let loud = SystemEffects {
+            noise_amplitude: 0.05,
+            ..SystemEffects::little_cluster()
+        };
+        let diags = check("a53", &loud, &race);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, Lint::NoiseAboveResolution);
+        assert!(diags[0].message.contains("noise"));
+        assert!(diags[0].context.iter().any(|(k, _)| k == "board"));
+
+        // The same board passes once the race gathers more evidence per
+        // test: mdd shrinks with sqrt(first_test).
+        let patient = RaceSettings {
+            first_test: 150,
+            ..RaceSettings::default()
+        };
+        assert!(check("a53", &loud, &patient).is_empty());
+    }
+
+    #[test]
+    fn mdd_scales_with_amplitude_and_alpha() {
+        let race = RaceSettings::default();
+        let small = SystemEffects {
+            noise_amplitude: 0.004,
+            ..SystemEffects::none()
+        };
+        let big = SystemEffects {
+            noise_amplitude: 0.008,
+            ..SystemEffects::none()
+        };
+        let m1 = min_detectable_difference(&small, &race);
+        let m2 = min_detectable_difference(&big, &race);
+        assert!((m2 / m1 - 2.0).abs() < 1e-9, "mdd is linear in amplitude");
+
+        let strict = RaceSettings {
+            alpha: 0.01,
+            ..RaceSettings::default()
+        };
+        assert!(
+            min_detectable_difference(&small, &strict) > m1,
+            "a stricter alpha needs a larger difference"
+        );
+    }
+}

@@ -18,11 +18,15 @@
 //! * [`kernel`] — abstract interpretation over decoded programs: reads of
 //!   never-written reserved memory, unreachable blocks, branches that
 //!   leave the program.
+//! * [`effects`] — checks a board's measurement noise against the race's
+//!   statistical resolution (can the significance tests distinguish
+//!   near-elite configurations at all?).
 //!
 //! All passes emit [`Diagnostic`]s with stable `RA...` codes; see
 //! `DESIGN.md` for the full table.
 
 pub mod diag;
+pub mod effects;
 pub mod kernel;
 pub mod param;
 pub mod platform;

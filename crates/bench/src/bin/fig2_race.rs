@@ -25,8 +25,8 @@ fn main() {
         let survived_to = |config: usize| -> usize {
             it.eliminations
                 .iter()
-                .find(|e| e.config == config)
-                .map(|e| e.after_blocks)
+                .find(|e| e.config() == config)
+                .map(|e| e.after_blocks())
                 .unwrap_or(it.blocks_used)
         };
         for c in 0..it.configs_raced {

@@ -7,17 +7,22 @@
 //! racesim probe    --board a53              lmbench-style latency estimation
 //! racesim config   --platform a72           dump a platform config file
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
+//! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS]
 //! racesim lint     [--json] [--revision fixed|initial]
 //! ```
 
-use racesim_core::{analysis, latency, report, Revision, Validator, ValidatorSettings};
-use racesim_hw::{HardwarePlatform, ReferenceBoard};
+use racesim_core::{
+    analysis, latency, report, LazySuiteCost, Revision, Validator, ValidatorSettings,
+};
+use racesim_hw::{FaultPlan, FaultyBoard, HardwarePlatform, ReferenceBoard};
 use racesim_kernels::{microbench_suite, probes, spec_suite, Scale, Workload};
-use racesim_race::TunerSettings;
+use racesim_race::{RaceSettings, RacingTuner, TryCostFn, TunerSettings, Watchdog};
 use racesim_sim::{config_text, Platform, Simulator};
 use racesim_uarch::CoreKind;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 racesim — hardware-validated simulation toolkit
@@ -32,6 +37,7 @@ COMMANDS:
     probe                         estimate cache/memory latencies on a board (lmbench style)
     config                        print a platform configuration file
     validate                      run the full validation methodology and save the tuned model
+    tune                          fault-tolerant tuning with checkpoint/resume and fault injection
     lint                          statically check platforms, parameter spaces and kernels
     help                          show this message
 
@@ -43,9 +49,19 @@ COMMON OPTIONS:
     --scale <DIVISOR>             dynamic-instruction scale divisor (default 2048)
     --budget <N>                  racing evaluation budget (default 2000)
     --threads <N>                 evaluation threads (default: all)
-    --out <FILE>                  where to write the tuned config (validate)
+    --out <FILE>                  where to write the tuned config (validate, tune)
     --revision <fixed|initial>    model revision to lint (default fixed)
     --json                        machine-readable lint output (stable schema)
+
+TUNE OPTIONS:
+    --seed <N>                    tuner RNG seed (default 0xBADCAB1E); runs are deterministic per seed
+    --checkpoint <FILE>           write a resumable snapshot after every completed iteration
+    --resume <FILE>               restore tuner state from a snapshot (missing file = fresh run)
+    --max-iterations <N>          stop after N iterations in this process (for staged runs)
+    --timeout <MS>                wall-clock watchdog per evaluation; a hang becomes a config fault
+    --faults <none|transient|aggressive>
+                                  inject deterministic board faults into the tune measurements
+    --fault-seed <N>              seed of the fault plan (default 1)
 ";
 
 /// Flags that take no value.
@@ -258,6 +274,155 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn core_of(flags: &HashMap<String, String>) -> Result<CoreKind, String> {
+    match flags.get("core").map(String::as_str) {
+        Some("a53") | None => Ok(CoreKind::InOrder),
+        Some("a72") => Ok(CoreKind::OutOfOrder),
+        Some(v) => Err(format!("unknown core {v:?} (use a53 or a72)")),
+    }
+}
+
+fn parse_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    flags
+        .get(key)
+        .map(|v| v.parse().map_err(|_| format!("invalid --{key} {v:?}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+fn fault_plan_of(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    let seed = parse_u64(flags, "fault-seed", 1)?;
+    match flags.get("faults").map(String::as_str) {
+        None | Some("none") => Ok(None),
+        Some("transient") => Ok(Some(FaultPlan::transient(seed, 0.10))),
+        Some("aggressive") => Ok(Some(FaultPlan::aggressive(seed))),
+        Some(v) => Err(format!(
+            "unknown fault profile {v:?} (use none, transient or aggressive)"
+        )),
+    }
+}
+
+/// `racesim tune`: the fault-tolerant tuning path. Measurements happen
+/// lazily inside the race (so board faults are retried, quarantined or
+/// charged to the offending configuration instead of killing the run),
+/// state snapshots land in `--checkpoint` after every iteration, and
+/// `--resume` continues a run that died or was staged deliberately.
+/// Latency probes run on the clean board; the `--faults` plan targets the
+/// long campaign, which is where real boards fall over.
+fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = core_of(flags)?;
+    let board = match kind {
+        CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+        CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+    };
+    let settings = ValidatorSettings {
+        kind,
+        revision: Revision::Fixed,
+        scale: scale_of(flags)?,
+        tuner: TunerSettings {
+            budget: parse_u64(flags, "budget", 2_000)?,
+            seed: parse_u64(flags, "seed", TunerSettings::default().seed)?,
+            threads: match parse_u64(flags, "threads", 0)? {
+                0 => std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4),
+                n => n as usize,
+            },
+            max_iterations: flags
+                .get("max-iterations")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("invalid --max-iterations {v:?}"))
+                })
+                .transpose()?,
+            ..TunerSettings::default()
+        },
+        metric: racesim_core::CostMetric::CpiError,
+    };
+    let v = Validator::new(&board, settings.clone());
+    let base = v.base_platform().map_err(|e| e.to_string())?;
+    let space = racesim_core::params::build_space(kind, settings.revision);
+    let decoder = v.decoder();
+    let suite = v.suite();
+
+    let tune_board: Arc<dyn HardwarePlatform> = match fault_plan_of(flags)? {
+        Some(plan) => {
+            println!(
+                "injecting faults: {:.0}% transient, {:.0}% dropped, {:.0}% spiked, {:.0}% hung",
+                100.0 * plan.transient_rate,
+                100.0 * plan.drop_rate,
+                100.0 * plan.spike_rate,
+                100.0 * plan.hang_rate
+            );
+            Arc::new(FaultyBoard::new(
+                match kind {
+                    CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+                    CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+                },
+                plan,
+            ))
+        }
+        None => Arc::new(match kind {
+            CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+            CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+        }),
+    };
+    let cost = Arc::new(
+        LazySuiteCost::new(tune_board, &suite, base.clone(), decoder, settings.metric)
+            .map_err(|e| e.to_string())?,
+    );
+    let n_instances = cost.len();
+
+    let mut tuner = RacingTuner::new(settings.tuner);
+    if let Some(path) = flags.get("checkpoint") {
+        tuner = tuner.with_checkpoint(path);
+        println!("checkpointing to {path} after every iteration");
+    }
+    if let Some(path) = flags.get("resume") {
+        tuner = tuner.with_resume(path);
+    }
+
+    println!(
+        "tuning the {kind} model over {n_instances} benchmarks (budget {}, seed {:#x}) ...",
+        settings.tuner.budget, settings.tuner.seed
+    );
+    let result = match flags.get("timeout") {
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| format!("invalid --timeout {v:?}"))?;
+            let dog = Watchdog::new(
+                Arc::clone(&cost) as Arc<dyn TryCostFn + Send + Sync>,
+                Duration::from_millis(ms),
+            );
+            tuner.try_tune(&space, &dog, n_instances)
+        }
+        None => tuner.try_tune(&space, &*cost, n_instances),
+    };
+
+    for w in &result.warnings {
+        eprintln!("warning: {w}");
+    }
+    if result.aborted {
+        println!("run aborted before completion (state saved if --checkpoint was given)");
+    }
+    println!(
+        "best cost: {:.2}% mean CPI error ({} evaluations, {} retries, {} configurations failed)",
+        result.best_cost, result.evals_used, result.retries, result.failed_configs
+    );
+    for (instance, reason) in &result.quarantined {
+        println!(
+            "quarantined instance {instance} ({}): {reason}",
+            cost.name(*instance)
+        );
+    }
+    if let Some(path) = flags.get("out") {
+        let tuned = racesim_core::params::apply(&space, &result.best, &base);
+        std::fs::write(path, config_text::to_text(&tuned))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("tuned configuration written to {path}");
+    }
+    Ok(())
+}
+
 /// `racesim lint`: the static-analysis gate. Checks the shipped platform
 /// presets, the tuning parameter spaces for both cores, and every
 /// micro-benchmark kernel — all before a single cycle is simulated.
@@ -315,6 +480,20 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         }
     }
 
+    // 4. Measurement noise vs the race's statistical resolution, per
+    //    board, at the race settings a default tune would use.
+    let race = RaceSettings::default();
+    for (label, board) in [
+        ("a53", ReferenceBoard::firefly_a53()),
+        ("a72", ReferenceBoard::firefly_a72()),
+    ] {
+        report.extend(racesim_analyzer::effects::check(
+            label,
+            board.effects(),
+            &race,
+        ));
+    }
+
     report.sort();
     if flags.get("json").is_some() {
         println!("{}", report.render_json());
@@ -348,6 +527,7 @@ fn main() -> ExitCode {
         "probe" => cmd_probe(&flags),
         "config" => cmd_config(&flags),
         "validate" => cmd_validate(&flags),
+        "tune" => cmd_tune(&flags),
         "lint" => {
             return match cmd_lint(&flags) {
                 Ok(code) => code,

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod fallible;
 pub mod latency;
 pub mod params;
 pub mod perturb;
@@ -34,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod validator;
 
+pub use fallible::LazySuiteCost;
 pub use params::Revision;
 pub use racesim_sim::Platform;
 pub use validator::{

@@ -7,7 +7,7 @@ use racesim_decoder::{Decoder, Quirks};
 use racesim_hw::{HardwarePlatform, MeasureError, PerfCounters};
 use racesim_kernels::{microbench_suite, microbench_suite_initialized, Category, Scale, Workload};
 use racesim_race::{
-    Configuration, CostFn, ParamSpace, Pruner, RacingTuner, TuneResult, Tuner, TunerSettings,
+    Configuration, EvalError, ParamSpace, Pruner, RacingTuner, TryCostFn, TuneResult, TunerSettings,
 };
 use racesim_sim::{Platform, SimOptions, Simulator};
 use racesim_stats::abs_pct_error;
@@ -278,19 +278,37 @@ struct CpiErrorCost<'a> {
     metric: CostMetric,
 }
 
-impl CostFn for CpiErrorCost<'_> {
-    fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+impl TryCostFn for CpiErrorCost<'_> {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
         let platform = apply(space, cfg, &self.base);
         let sim = Simulator::with_decoder(platform, self.decoder, SimOptions::default());
-        match sim.run(&self.suite.traces[instance]) {
-            Ok(stats) => self.metric.evaluate(
-                stats.cpi(),
-                self.suite.hw[instance].cpi(),
-                stats.core.branch_mpki(),
-                self.suite.hw[instance].branch_mpki(),
-            ),
-            // An unrunnable configuration is infinitely bad, not fatal.
-            Err(_) => f64::MAX,
+        // An unrunnable configuration is a config-side fault: the race
+        // eliminates the candidate with a logged reason instead of
+        // letting a sentinel cost poison the rank statistics.
+        let stats = sim.run(&self.suite.traces[instance]).map_err(|e| {
+            EvalError::Config(format!(
+                "simulator rejected the configuration on {}: {e}",
+                self.suite.names[instance]
+            ))
+        })?;
+        let cost = self.metric.evaluate(
+            stats.cpi(),
+            self.suite.hw[instance].cpi(),
+            stats.core.branch_mpki(),
+            self.suite.hw[instance].branch_mpki(),
+        );
+        if cost.is_finite() {
+            Ok(cost)
+        } else {
+            Err(EvalError::Config(format!(
+                "non-finite cost on {}",
+                self.suite.names[instance]
+            )))
         }
     }
 }
@@ -412,7 +430,7 @@ impl<'hw> Validator<'hw> {
             })
         };
         let tuner = RacingTuner::new(self.settings.tuner).with_pruner(pruner);
-        let tune = tuner.tune(&space, &cost, suite.len());
+        let tune = tuner.try_tune(&space, &cost, suite.len());
         let best = tune.best.clone();
 
         // Step 6.

@@ -19,6 +19,19 @@ pub enum MeasureError {
     Emulation(EmuError),
     /// The internal reference model failed (indicates a board bug).
     Internal(SimError),
+    /// A transient measurement fault (counter glitch, bus hiccup, OS
+    /// interference): a retry may succeed.
+    Transient(String),
+    /// The measurement was dropped — the counters never arrived, and
+    /// retries will not change that.
+    Dropped(String),
+}
+
+impl MeasureError {
+    /// Whether a retry of the same measurement may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MeasureError::Transient(_))
+    }
 }
 
 impl fmt::Display for MeasureError {
@@ -26,6 +39,8 @@ impl fmt::Display for MeasureError {
         match self {
             MeasureError::Emulation(e) => write!(f, "workload execution failed: {e}"),
             MeasureError::Internal(e) => write!(f, "reference model failure: {e}"),
+            MeasureError::Transient(r) => write!(f, "transient measurement fault: {r}"),
+            MeasureError::Dropped(r) => write!(f, "measurement dropped: {r}"),
         }
     }
 }
@@ -35,6 +50,7 @@ impl std::error::Error for MeasureError {
         match self {
             MeasureError::Emulation(e) => Some(e),
             MeasureError::Internal(e) => Some(e),
+            MeasureError::Transient(_) | MeasureError::Dropped(_) => None,
         }
     }
 }
@@ -173,6 +189,14 @@ impl ReferenceBoard {
     pub fn with_effects(mut self, effects: SystemEffects) -> ReferenceBoard {
         self.effects = effects;
         self
+    }
+
+    /// The system effects this board applies on top of its hidden timing
+    /// (public, unlike the hidden configuration: a user can observe timer
+    /// frequency and measurement noise from outside the box, and the
+    /// analyzer's noise-versus-significance lint needs them).
+    pub fn effects(&self) -> &SystemEffects {
+        &self.effects
     }
 
     /// The hidden configuration, exposed **for post-hoc analysis only**.

@@ -32,10 +32,12 @@
 mod board;
 mod counters;
 mod effects;
+mod faults;
 
 pub use board::{MeasureError, ReferenceBoard};
 pub use counters::PerfCounters;
 pub use effects::SystemEffects;
+pub use faults::{FaultPlan, FaultyBoard};
 
 use racesim_kernels::Workload;
 use racesim_trace::TraceBuffer;

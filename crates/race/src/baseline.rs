@@ -84,6 +84,11 @@ impl Tuner for RandomSearch {
             evals_used: evals,
             pruned: 0,
             history: Vec::new(),
+            quarantined: Vec::new(),
+            failed_configs: 0,
+            retries: 0,
+            aborted: false,
+            warnings: Vec::new(),
         }
     }
 }
@@ -156,6 +161,11 @@ impl Tuner for GridSearch {
             evals_used: evals,
             pruned: 0,
             history: Vec::new(),
+            quarantined: Vec::new(),
+            failed_configs: 0,
+            retries: 0,
+            aborted: false,
+            warnings: Vec::new(),
         }
     }
 }

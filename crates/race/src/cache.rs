@@ -30,6 +30,20 @@ impl CostCache {
         self.map.lock().insert((cfg.clone(), instance), cost);
     }
 
+    /// Every memoised evaluation, sorted by (configuration, instance) so
+    /// two caches with equal contents snapshot identically — the order a
+    /// parallel race inserted them in must not leak into checkpoints.
+    pub fn entries(&self) -> Vec<(Configuration, usize, f64)> {
+        let mut out: Vec<(Configuration, usize, f64)> = self
+            .map
+            .lock()
+            .iter()
+            .map(|((cfg, inst), c)| (cfg.clone(), *inst, *c))
+            .collect();
+        out.sort_by(|a, b| (&a.0.values, a.1).cmp(&(&b.0.values, b.1)));
+        out
+    }
+
     /// Number of memoised evaluations.
     pub fn len(&self) -> usize {
         self.map.lock().len()

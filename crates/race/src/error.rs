@@ -1,0 +1,308 @@
+//! The failure taxonomy of fallible cost evaluations, plus the retry,
+//! quarantine and watchdog machinery built on top of it.
+//!
+//! Real boards misbehave: runs hang, counters glitch, thermal and OS
+//! interference produce outliers, and multi-hour campaigns die mid-flight.
+//! Every evaluation failure is classified into one of two sides:
+//!
+//! * **Board-side** ([`EvalError::Transient`], [`EvalError::Instance`]) —
+//!   the *instance* (benchmark measurement) is at fault. Transient faults
+//!   are retried with bounded exponential backoff; persistent ones
+//!   quarantine the instance so the race stops spending budget on it.
+//! * **Config-side** ([`EvalError::Config`]) — the *configuration* is at
+//!   fault (simulator panic, timeout, non-finite CPI). The configuration
+//!   is eliminated from the race with a logged reason instead of poisoning
+//!   the Friedman/rank statistics.
+
+use crate::param::{Configuration, ParamSpace};
+use crate::tuner::TryCostFn;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why one cost evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A board-side fault that may clear on retry (bus glitch, perf
+    /// counter multiplexing hiccup, OS interference spike).
+    Transient(String),
+    /// A persistent board-side fault: the instance cannot be measured.
+    /// The racing layer quarantines the instance.
+    Instance(String),
+    /// A configuration-side fault: this candidate cannot be evaluated
+    /// (simulator panic, watchdog timeout, non-finite cost). The racing
+    /// layer eliminates the configuration.
+    Config(String),
+}
+
+impl EvalError {
+    /// The human-readable reason carried by the error.
+    pub fn reason(&self) -> &str {
+        match self {
+            EvalError::Transient(r) | EvalError::Instance(r) | EvalError::Config(r) => r,
+        }
+    }
+
+    /// Whether the fault is board-side (instance at fault) rather than
+    /// config-side.
+    pub fn is_board_side(&self) -> bool {
+        matches!(self, EvalError::Transient(_) | EvalError::Instance(_))
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Transient(r) => write!(f, "transient fault: {r}"),
+            EvalError::Instance(r) => write!(f, "instance fault: {r}"),
+            EvalError::Config(r) => write!(f, "configuration fault: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Bounded exponential backoff for transient evaluation faults.
+///
+/// An evaluation is attempted up to [`max_attempts`](Self::max_attempts)
+/// times; attempt `k` (1-based) is preceded by a sleep of
+/// `base_ms * factor^(k-2)` milliseconds, capped at
+/// [`cap_ms`](Self::cap_ms). Non-transient errors are never retried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per evaluation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplicative backoff growth per retry.
+    pub factor: f64,
+    /// Upper bound on a single backoff sleep, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ms: 25,
+            factor: 2.0,
+            cap_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries `max_attempts` times with no sleeping —
+    /// what tests and pure-simulation cost functions want.
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_ms: 0,
+            factor: 1.0,
+            cap_ms: 0,
+        }
+    }
+
+    /// The sleep to take before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_ms == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self.factor.powi(retry.saturating_sub(1) as i32);
+        let ms = (self.base_ms as f64 * exp).min(self.cap_ms as f64);
+        Duration::from_millis(ms.max(0.0) as u64)
+    }
+}
+
+/// The set of quarantined instances: benchmark measurements a board
+/// persistently fails to deliver. Shared across every race of a tuning
+/// run so a dead instance is paid for at most once.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    map: Mutex<BTreeMap<usize, String>>,
+}
+
+impl Quarantine {
+    /// An empty quarantine set.
+    pub fn new() -> Quarantine {
+        Quarantine::default()
+    }
+
+    /// Whether `instance` is quarantined.
+    pub fn contains(&self, instance: usize) -> bool {
+        self.map.lock().contains_key(&instance)
+    }
+
+    /// Quarantines `instance` with a reason. The first reason wins.
+    pub fn insert(&self, instance: usize, reason: impl Into<String>) {
+        self.map
+            .lock()
+            .entry(instance)
+            .or_insert_with(|| reason.into());
+    }
+
+    /// All quarantined instances with their reasons, ascending by index.
+    pub fn entries(&self) -> Vec<(usize, String)> {
+        self.map
+            .lock()
+            .iter()
+            .map(|(i, r)| (*i, r.clone()))
+            .collect()
+    }
+
+    /// Number of quarantined instances.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+/// A per-evaluation wall-clock watchdog.
+///
+/// Wraps a cost function so that every evaluation runs on its own thread
+/// and is abandoned once `timeout` elapses, yielding
+/// [`EvalError::Config`] (a hanging evaluation is a configuration fault:
+/// the candidate drove the simulator into a state it cannot leave). The
+/// abandoned thread is detached, not killed — it finishes (or hangs)
+/// in the background, so the wrapped function must not hold locks the
+/// caller needs.
+pub struct Watchdog {
+    inner: Arc<dyn TryCostFn + Send + Sync>,
+    timeout: Duration,
+}
+
+impl fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Watchdog {
+    /// Wraps `inner` with a per-evaluation `timeout`.
+    pub fn new(inner: Arc<dyn TryCostFn + Send + Sync>, timeout: Duration) -> Watchdog {
+        Watchdog { inner, timeout }
+    }
+}
+
+impl TryCostFn for Watchdog {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::clone(&self.inner);
+        let cfg = cfg.clone();
+        let space = space.clone();
+        std::thread::spawn(move || {
+            // A panic inside `inner` drops `tx` without sending; the
+            // receiver sees a disconnect and reports a config fault.
+            let _ = tx.send(inner.try_cost(&cfg, &space, instance));
+        });
+        match rx.recv_timeout(self.timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(EvalError::Config(format!(
+                "evaluation exceeded the {}ms watchdog timeout",
+                self.timeout.as_millis()
+            ))),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(EvalError::Config("evaluation panicked".to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_ms: 10,
+            factor: 2.0,
+            cap_ms: 35,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(RetryPolicy::immediate(3).backoff(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn quarantine_keeps_first_reason() {
+        let q = Quarantine::new();
+        assert!(q.is_empty());
+        q.insert(3, "hang");
+        q.insert(3, "later excuse");
+        q.insert(1, "dropped");
+        assert!(q.contains(3));
+        assert!(!q.contains(0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.entries(),
+            vec![(1, "dropped".to_string()), (3, "hang".to_string())]
+        );
+    }
+
+    #[test]
+    fn watchdog_times_out_hanging_evaluations_and_passes_fast_ones() {
+        struct Slow;
+        impl TryCostFn for Slow {
+            fn try_cost(
+                &self,
+                _: &Configuration,
+                _: &ParamSpace,
+                instance: usize,
+            ) -> Result<f64, EvalError> {
+                if instance == 0 {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Ok(1.5)
+            }
+        }
+        let mut space = ParamSpace::new();
+        space.add_bool("x");
+        let cfg = space.default_configuration();
+        let dog = Watchdog::new(Arc::new(Slow), Duration::from_millis(25));
+        match dog.try_cost(&cfg, &space, 0) {
+            Err(EvalError::Config(r)) => assert!(r.contains("watchdog"), "{r}"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(dog.try_cost(&cfg, &space, 1), Ok(1.5));
+    }
+
+    #[test]
+    fn watchdog_reports_panics_as_config_faults() {
+        struct Explodes;
+        impl TryCostFn for Explodes {
+            fn try_cost(
+                &self,
+                _: &Configuration,
+                _: &ParamSpace,
+                _: usize,
+            ) -> Result<f64, EvalError> {
+                panic!("boom");
+            }
+        }
+        let mut space = ParamSpace::new();
+        space.add_bool("x");
+        let cfg = space.default_configuration();
+        let dog = Watchdog::new(Arc::new(Explodes), Duration::from_secs(5));
+        match dog.try_cost(&cfg, &space, 0) {
+            Err(EvalError::Config(r)) => assert!(r.contains("panicked"), "{r}"),
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+}

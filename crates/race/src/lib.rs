@@ -53,13 +53,20 @@
 
 mod baseline;
 mod cache;
+mod checkpoint;
+mod error;
 mod model;
 mod param;
 mod race;
 mod tuner;
 
 pub use baseline::{GridSearch, RandomSearch};
+pub use cache::CostCache;
+pub use checkpoint::{CheckpointError, TunerCheckpoint};
+pub use error::{EvalError, Quarantine, RetryPolicy, Watchdog};
 pub use model::SamplingModel;
 pub use param::{Configuration, Domain, Param, ParamSpace, Value};
-pub use race::{race, EliminationTest, RaceLogEntry, RaceResult, RaceSettings};
-pub use tuner::{CostFn, IterationSummary, Pruner, RacingTuner, TuneResult, Tuner, TunerSettings};
+pub use race::{race, EliminationTest, RaceContext, RaceLogEntry, RaceResult, RaceSettings};
+pub use tuner::{
+    CostFn, IterationSummary, Pruner, RacingTuner, TryCostFn, TuneResult, Tuner, TunerSettings,
+};

@@ -40,6 +40,20 @@ impl SamplingModel {
         }
     }
 
+    /// The per-parameter weight vectors (empty for integer parameters),
+    /// for exact checkpointing.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Rebuilds a model from checkpointed parts. The caller is
+    /// responsible for `weights` matching the space the model will be
+    /// used with (one vector per parameter, length = cardinality for
+    /// categorical/bool, empty for integer).
+    pub fn from_parts(weights: Vec<Vec<f64>>, spread: f64) -> SamplingModel {
+        SamplingModel { weights, spread }
+    }
+
     fn weighted_choice(rng: &mut StdRng, w: &[f64]) -> usize {
         let total: f64 = w.iter().sum();
         let mut x = rng.gen_range(0.0..total);

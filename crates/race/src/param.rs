@@ -43,7 +43,7 @@ pub struct Param {
 
 /// The value a configuration assigns to one parameter, stored as an index
 /// into its domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Index into a categorical domain.
     Cat(u16),
@@ -159,6 +159,13 @@ impl ParamSpace {
             .by_name
             .get(name)
             .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    /// The index of a named parameter, or `None` if the space has no
+    /// parameter with this name — the non-panicking form of
+    /// [`index_of`](Self::index_of) for callers handling external input.
+    pub fn try_index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
     }
 
     /// Total number of distinct configurations (saturating).

@@ -1,9 +1,11 @@
-//! The racing procedure (step 2 of Figure 2).
+//! The racing procedure (step 2 of Figure 2), fault-tolerant end to end.
 
 use crate::cache::CostCache;
+use crate::error::{EvalError, Quarantine, RetryPolicy};
 use crate::param::{Configuration, ParamSpace};
-use crate::tuner::CostFn;
+use crate::tuner::TryCostFn;
 use racesim_stats::{friedman_test, mean, paired_t_test, wilcoxon_signed_rank};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which statistical machinery eliminates losing configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,10 +25,15 @@ pub struct RaceSettings {
     /// Number of instances evaluated before the first statistical test
     /// (irace's `firstTest`).
     pub first_test: usize,
-    /// Never eliminate below this many survivors.
+    /// Never eliminate below this many survivors (statistical
+    /// eliminations only; configurations whose evaluations *fail* are
+    /// removed regardless — a race can end with zero survivors if every
+    /// candidate is broken).
     pub min_survivors: usize,
     /// The elimination machinery.
     pub test: EliminationTest,
+    /// Retry/backoff policy for transient board-side faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RaceSettings {
@@ -36,18 +43,51 @@ impl Default for RaceSettings {
             first_test: 5,
             min_survivors: 2,
             test: EliminationTest::Friedman,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// One elimination event, for Figure-2-style visualisations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RaceLogEntry {
-    /// Index of the eliminated configuration (into the race's config
-    /// list).
-    pub config: usize,
-    /// How many instances it had been evaluated on when eliminated.
-    pub after_blocks: usize,
+/// One race event, for Figure-2-style visualisations and post-mortems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceLogEntry {
+    /// A configuration was eliminated by the statistical test.
+    Eliminated {
+        /// Index of the eliminated configuration (into the race's config
+        /// list).
+        config: usize,
+        /// How many instances it had been evaluated on when eliminated.
+        after_blocks: usize,
+    },
+    /// A configuration was removed because its evaluation failed
+    /// (simulator panic, watchdog timeout, non-finite cost).
+    Failed {
+        /// Index of the failed configuration.
+        config: usize,
+        /// How many complete instances it had seen when it failed.
+        after_blocks: usize,
+        /// The classified failure reason.
+        reason: String,
+    },
+}
+
+impl RaceLogEntry {
+    /// The configuration index this entry concerns.
+    pub fn config(&self) -> usize {
+        match self {
+            RaceLogEntry::Eliminated { config, .. } | RaceLogEntry::Failed { config, .. } => {
+                *config
+            }
+        }
+    }
+
+    /// How many blocks the configuration had seen.
+    pub fn after_blocks(&self) -> usize {
+        match self {
+            RaceLogEntry::Eliminated { after_blocks, .. }
+            | RaceLogEntry::Failed { after_blocks, .. } => *after_blocks,
+        }
+    }
 }
 
 /// Outcome of one race.
@@ -61,84 +101,203 @@ pub struct RaceResult {
     pub blocks_used: usize,
     /// Fresh cost evaluations consumed.
     pub evals_used: u64,
-    /// Elimination log.
+    /// Elimination/failure log.
     pub log: Vec<RaceLogEntry>,
+    /// Transient-fault retries performed.
+    pub retries: u64,
+    /// Instances quarantined *during this race*, with reasons.
+    pub quarantined: Vec<(usize, String)>,
+    /// True when the race was cancelled before running to completion.
+    pub aborted: bool,
+}
+
+/// Shared infrastructure a race runs against: the cost memo, the
+/// cross-race instance quarantine, an optional cancellation flag
+/// (checked between blocks; a cancelled race reports `aborted`), and the
+/// evaluation thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceContext<'a> {
+    /// Memoised `(configuration, instance) → cost` store.
+    pub cache: &'a CostCache,
+    /// Instances known to be unmeasurable; the race skips them and adds
+    /// newly failing ones.
+    pub quarantine: &'a Quarantine,
+    /// Cooperative cancellation, for checkpoint-and-exit shutdowns.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Worker threads for block evaluation (`<= 1` runs inline).
+    pub threads: usize,
+}
+
+/// Evaluates one `(configuration, instance)` task with retry/backoff,
+/// catching panics and rejecting non-finite costs at the boundary.
+/// Returns the classified outcome plus the number of retries taken.
+fn eval_one(
+    cost: &dyn TryCostFn,
+    cfg: &Configuration,
+    space: &ParamSpace,
+    instance: usize,
+    retry: &RetryPolicy,
+) -> (Result<f64, EvalError>, u64) {
+    let mut retries = 0u64;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cost.try_cost(cfg, space, instance)
+        }));
+        let outcome = match caught {
+            Ok(Ok(c)) if !c.is_finite() => Err(EvalError::Config(format!("non-finite cost {c}"))),
+            Ok(other) => other,
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(EvalError::Config(format!("evaluation panicked: {reason}")))
+            }
+        };
+        match outcome {
+            Err(EvalError::Transient(reason)) => {
+                if retries + 1 < retry.max_attempts as u64 {
+                    retries += 1;
+                    let pause = retry.backoff(retries as u32);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    continue;
+                }
+                // Retries exhausted: the board, not the configuration, is
+                // at fault — escalate to an instance fault.
+                return (
+                    Err(EvalError::Instance(format!(
+                        "transient fault persisted through {} attempts: {reason}",
+                        retry.max_attempts
+                    ))),
+                    retries,
+                );
+            }
+            other => return (other, retries),
+        }
+    }
+}
+
+/// What one block (instance) of evaluations produced.
+struct BlockOutcome {
+    /// Fresh evaluation tasks attempted (budget units).
+    fresh: u64,
+    /// Transient retries across all tasks.
+    retries: u64,
+    /// Configurations whose evaluation failed config-side, with reasons.
+    failed: Vec<(usize, String)>,
+    /// First board-side fault seen, if any: quarantine the instance.
+    instance_fault: Option<String>,
 }
 
 /// Evaluates `configs[i]` on `instance` for every alive index, in
-/// parallel, returning the fresh-evaluation count.
-#[allow(clippy::too_many_arguments)]
+/// parallel. Every task runs to completion (deterministic budget
+/// accounting regardless of thread interleaving); classification happens
+/// afterwards.
 fn evaluate_block(
     space: &ParamSpace,
     configs: &[Configuration],
     alive: &[bool],
     instance: usize,
-    cost: &dyn CostFn,
-    cache: &CostCache,
-    out: &mut [Vec<f64>],
-    threads: usize,
-) -> u64 {
+    cost: &dyn TryCostFn,
+    ctx: RaceContext<'_>,
+    settings: &RaceSettings,
+) -> BlockOutcome {
     let mut seen = std::collections::HashSet::new();
     let todo: Vec<usize> = (0..configs.len())
         .filter(|&i| {
-            alive[i] && cache.get(&configs[i], instance).is_none() && seen.insert(&configs[i])
+            alive[i] && ctx.cache.get(&configs[i], instance).is_none() && seen.insert(&configs[i])
         })
         .collect();
     let fresh = todo.len() as u64;
-    if threads <= 1 || todo.len() <= 1 {
-        for &i in &todo {
-            let c = cost.cost(&configs[i], space, instance);
-            cache.put(&configs[i], instance, c);
+    // Indexed by position in `todo`, so parallel workers write disjoint
+    // slots and the merged outcome is order-independent.
+    let mut results: Vec<Option<(Result<f64, EvalError>, u64)>> = vec![None; todo.len()];
+    if ctx.threads <= 1 || todo.len() <= 1 {
+        for (slot, &i) in todo.iter().enumerate() {
+            results[slot] = Some(eval_one(
+                cost,
+                &configs[i],
+                space,
+                instance,
+                &settings.retry,
+            ));
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = parking_lot::Mutex::new(&mut results);
         crossbeam::scope(|scope| {
-            for _ in 0..threads.min(todo.len()) {
+            for _ in 0..ctx.threads.min(todo.len()) {
                 scope.spawn(|_| loop {
                     let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if k >= todo.len() {
                         break;
                     }
                     let i = todo[k];
-                    let c = cost.cost(&configs[i], space, instance);
-                    cache.put(&configs[i], instance, c);
+                    let r = eval_one(cost, &configs[i], space, instance, &settings.retry);
+                    slots.lock()[k] = Some(r);
                 });
             }
         })
-        .expect("race evaluation worker panicked");
+        // Workers cannot panic: evaluation panics are caught in
+        // `eval_one` and classified as config faults.
+        .expect("race evaluation worker cannot panic");
     }
-    for (i, row) in out.iter_mut().enumerate() {
-        if alive[i] {
-            row.push(
-                cache
-                    .get(&configs[i], instance)
-                    .expect("cost evaluated above"),
-            );
+
+    let mut retries = 0u64;
+    let mut failed = Vec::new();
+    let mut instance_fault = None;
+    for (slot, &i) in todo.iter().enumerate() {
+        let (outcome, r) = results[slot].take().expect("every task was evaluated");
+        retries += r;
+        match outcome {
+            Ok(c) => ctx.cache.put(&configs[i], instance, c),
+            Err(e) if e.is_board_side() => {
+                if instance_fault.is_none() {
+                    instance_fault = Some(e.reason().to_string());
+                }
+            }
+            Err(e) => failed.push((i, e.reason().to_string())),
         }
     }
-    fresh
+    BlockOutcome {
+        fresh,
+        retries,
+        failed,
+        instance_fault,
+    }
 }
 
 /// Races `configs` across `instance_order`, eliminating statistically
-/// inferior configurations as evidence accumulates.
+/// inferior configurations as evidence accumulates and degrading
+/// gracefully under evaluation faults:
 ///
-/// `budget` is decremented by every fresh evaluation; the race stops when
-/// the instances or the budget run out, or when only `min_survivors`
-/// remain.
+/// * transient board faults are retried per [`RaceSettings::retry`];
+/// * persistently unmeasurable instances are quarantined (skipped by this
+///   and every later race sharing the [`Quarantine`]), and the block is
+///   discarded so the cost matrix stays rectangular;
+/// * failing configurations (panic, timeout, non-finite cost) are removed
+///   with a [`RaceLogEntry::Failed`] reason instead of poisoning the rank
+///   statistics.
+///
+/// `budget` is decremented by every fresh evaluation *attempt*; the race
+/// stops when the instances or the budget run out, or when only
+/// `min_survivors` remain.
 ///
 /// # Panics
 ///
-/// Panics if `configs` or `instance_order` is empty.
-#[allow(clippy::too_many_arguments)]
+/// Panics if `configs` or `instance_order` is empty — both indicate a
+/// caller bug, not a runtime condition.
 pub fn race(
     space: &ParamSpace,
     configs: &[Configuration],
     instance_order: &[usize],
-    cost: &dyn CostFn,
-    cache: &CostCache,
+    cost: &dyn TryCostFn,
+    ctx: RaceContext<'_>,
     settings: &RaceSettings,
     budget: &mut u64,
-    threads: usize,
 ) -> RaceResult {
     assert!(!configs.is_empty(), "cannot race zero configurations");
     assert!(!instance_order.is_empty(), "cannot race on zero instances");
@@ -151,24 +310,67 @@ pub fn race(
     let mut costs: Vec<Vec<f64>> = vec![Vec::new(); k];
     let mut log = Vec::new();
     let mut evals_used = 0u64;
+    let mut retries = 0u64;
     let mut blocks_used = 0usize;
+    let mut quarantined = Vec::new();
+    let mut aborted = false;
 
-    for (block_no, &inst) in instance_order.iter().enumerate() {
-        if *budget < alive_count as u64 {
+    for &inst in instance_order.iter() {
+        if ctx.quarantine.contains(inst) {
+            continue;
+        }
+        if let Some(cancel) = ctx.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                aborted = true;
+                break;
+            }
+        }
+        if *budget < alive_count as u64 || alive_count == 0 {
             break;
         }
-        let fresh = evaluate_block(
-            space, configs, &alive, inst, cost, cache, &mut costs, threads,
-        );
-        *budget = budget.saturating_sub(fresh);
-        evals_used += fresh;
-        blocks_used = block_no + 1;
+        let block = evaluate_block(space, configs, &alive, inst, cost, ctx, settings);
+        *budget = budget.saturating_sub(block.fresh);
+        evals_used += block.fresh;
+        retries += block.retries;
+
+        if let Some(reason) = block.instance_fault {
+            // Board-side fault: the instance, not any configuration, is
+            // to blame. Quarantine it and discard the whole block so the
+            // per-config cost rows stay aligned.
+            ctx.quarantine.insert(inst, reason.clone());
+            quarantined.push((inst, reason));
+            continue;
+        }
+        for (i, reason) in block.failed {
+            alive[i] = false;
+            alive_count -= 1;
+            log.push(RaceLogEntry::Failed {
+                config: i,
+                after_blocks: blocks_used,
+                reason,
+            });
+        }
+        blocks_used += 1;
+        for (i, row) in costs.iter_mut().enumerate() {
+            if alive[i] {
+                row.push(
+                    ctx.cache
+                        .get(&configs[i], inst)
+                        .expect("alive configs evaluated or cached above"),
+                );
+            }
+        }
+        if alive_count == 0 {
+            break;
+        }
 
         if blocks_used < settings.first_test || alive_count <= settings.min_survivors {
             continue;
         }
 
-        // Build the blocks × alive-configs matrix.
+        // Build the blocks × alive-configs matrix. Rows of configurations
+        // that failed mid-race are shorter than `blocks_used`; only alive
+        // configurations (full rows) enter the statistics.
         let alive_idx: Vec<usize> = (0..k).filter(|&i| alive[i]).collect();
         let matrix: Vec<Vec<f64>> = (0..blocks_used)
             .map(|b| alive_idx.iter().map(|&i| costs[i][b]).collect())
@@ -202,8 +404,12 @@ pub fn race(
             }
             let worse = mean(&costs[j]) > mean(&costs[best]);
             let p = match settings.test {
-                EliminationTest::Friedman => wilcoxon_signed_rank(&costs[j], &costs[best]).1,
-                EliminationTest::PairedT => paired_t_test(&costs[j], &costs[best]).1,
+                EliminationTest::Friedman => wilcoxon_signed_rank(&costs[j], &costs[best])
+                    .map(|(_, p)| p)
+                    .unwrap_or(1.0),
+                EliminationTest::PairedT => paired_t_test(&costs[j], &costs[best])
+                    .map(|(_, p)| p)
+                    .unwrap_or(1.0),
             };
             if worse && p < settings.alpha {
                 to_kill.push((j, mean(&costs[j])));
@@ -218,7 +424,7 @@ pub fn race(
         for (j, _) in to_kill {
             alive[j] = false;
             alive_count -= 1;
-            log.push(RaceLogEntry {
+            log.push(RaceLogEntry::Eliminated {
                 config: j,
                 after_blocks: blocks_used,
             });
@@ -230,25 +436,39 @@ pub fn race(
         }
     }
 
+    // A survivor with no completed blocks (every instance quarantined
+    // before any evidence accumulated) has an *unknown* cost, not a
+    // perfect one: report NaN rather than `mean(&[]) == 0`.
+    let score = |i: usize| {
+        if costs[i].is_empty() {
+            f64::NAN
+        } else {
+            mean(&costs[i])
+        }
+    };
     let mut survivors: Vec<usize> = (0..k).filter(|&i| alive[i]).collect();
     survivors.sort_by(|&a, &b| {
-        mean(&costs[a])
-            .partial_cmp(&mean(&costs[b]))
+        score(a)
+            .partial_cmp(&score(b))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let survivor_costs = survivors.iter().map(|&i| mean(&costs[i])).collect();
+    let survivor_costs = survivors.iter().map(|&i| score(i)).collect();
     RaceResult {
         survivors,
         survivor_costs,
         blocks_used,
         evals_used,
         log,
+        retries,
+        quarantined,
+        aborted,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuner::CostFn;
 
     struct SyntheticCost;
 
@@ -278,19 +498,49 @@ mod tests {
             .collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        s: &ParamSpace,
+        cfgs: &[Configuration],
+        order: &[usize],
+        cost: &dyn TryCostFn,
+        cache: &CostCache,
+        quarantine: &Quarantine,
+        settings: &RaceSettings,
+        budget: &mut u64,
+        threads: usize,
+    ) -> RaceResult {
+        race(
+            s,
+            cfgs,
+            order,
+            cost,
+            RaceContext {
+                cache,
+                quarantine,
+                cancel: None,
+                threads,
+            },
+            settings,
+            budget,
+        )
+    }
+
     #[test]
     fn race_eliminates_bad_configs_and_keeps_the_best() {
         let s = space();
         let cfgs = configs(&s);
         let order: Vec<usize> = (0..20).collect();
         let cache = CostCache::new();
+        let q = Quarantine::new();
         let mut budget = 10_000u64;
-        let r = race(
+        let r = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &cache,
+            &q,
             &RaceSettings::default(),
             &mut budget,
             1,
@@ -299,6 +549,9 @@ mod tests {
         assert!(!r.log.is_empty(), "bad configs were eliminated");
         assert!(r.evals_used < 6 * 20, "elimination saves evaluations");
         assert!(budget < 10_000);
+        assert_eq!(r.retries, 0);
+        assert!(r.quarantined.is_empty());
+        assert!(!r.aborted);
     }
 
     #[test]
@@ -307,17 +560,19 @@ mod tests {
         let cfgs = configs(&s);
         let order: Vec<usize> = (0..20).collect();
         let cache = CostCache::new();
+        let q = Quarantine::new();
         let mut budget = 10_000u64;
         let settings = RaceSettings {
             min_survivors: 4,
             ..RaceSettings::default()
         };
-        let r = race(
+        let r = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &cache,
+            &q,
             &settings,
             &mut budget,
             1,
@@ -331,13 +586,15 @@ mod tests {
         let cfgs = configs(&s);
         let order: Vec<usize> = (0..20).collect();
         let cache = CostCache::new();
+        let q = Quarantine::new();
         let mut budget = 13u64; // two full blocks of 6, then starve
-        let r = race(
+        let r = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &cache,
+            &q,
             &RaceSettings::default(),
             &mut budget,
             1,
@@ -353,13 +610,15 @@ mod tests {
         let cfgs = vec![c.clone(), c.clone(), c];
         let order: Vec<usize> = (0..10).collect();
         let cache = CostCache::new();
+        let q = Quarantine::new();
         let mut budget = 1000u64;
-        let r = race(
+        let r = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &cache,
+            &q,
             &RaceSettings::default(),
             &mut budget,
             1,
@@ -375,17 +634,19 @@ mod tests {
         let cfgs = configs(&s);
         let order: Vec<usize> = (0..20).collect();
         let cache = CostCache::new();
+        let q = Quarantine::new();
         let mut budget = 10_000u64;
         let settings = RaceSettings {
             test: EliminationTest::PairedT,
             ..RaceSettings::default()
         };
-        let r = race(
+        let r = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &cache,
+            &q,
             &settings,
             &mut budget,
             1,
@@ -400,27 +661,86 @@ mod tests {
         let order: Vec<usize> = (0..20).collect();
         let mut b1 = 10_000u64;
         let mut b2 = 10_000u64;
-        let r1 = race(
+        let r1 = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &CostCache::new(),
+            &Quarantine::new(),
             &RaceSettings::default(),
             &mut b1,
             1,
         );
-        let r2 = race(
+        let r2 = run(
             &s,
             &cfgs,
             &order,
             &SyntheticCost,
             &CostCache::new(),
+            &Quarantine::new(),
             &RaceSettings::default(),
             &mut b2,
             4,
         );
         assert_eq!(r1.survivors, r2.survivors);
         assert_eq!(r1.evals_used, r2.evals_used);
+    }
+
+    #[test]
+    fn quarantined_instances_are_skipped_up_front() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..10).collect();
+        let cache = CostCache::new();
+        let q = Quarantine::new();
+        q.insert(0, "known dead");
+        q.insert(5, "known dead");
+        let mut budget = 10_000u64;
+        let r = run(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &cache,
+            &q,
+            &RaceSettings::default(),
+            &mut budget,
+            1,
+        );
+        assert!(r.blocks_used <= 8, "two of ten instances are quarantined");
+        for inst in [0usize, 5] {
+            for c in &cfgs {
+                assert_eq!(cache.get(c, inst), None, "no budget spent on {inst}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts_between_blocks() {
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let cache = CostCache::new();
+        let q = Quarantine::new();
+        let cancel = AtomicBool::new(true);
+        let mut budget = 10_000u64;
+        let r = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            RaceContext {
+                cache: &cache,
+                quarantine: &q,
+                cancel: Some(&cancel),
+                threads: 1,
+            },
+            &RaceSettings::default(),
+            &mut budget,
+        );
+        assert!(r.aborted);
+        assert_eq!(r.blocks_used, 0);
+        assert_eq!(budget, 10_000);
     }
 }

@@ -1,18 +1,28 @@
 //! The iterated-racing loop.
 
 use crate::cache::CostCache;
+use crate::checkpoint::TunerCheckpoint;
+use crate::error::{EvalError, Quarantine};
 use crate::model::SamplingModel;
 use crate::param::{Configuration, ParamSpace};
-use crate::race::{race, RaceLogEntry, RaceSettings};
+use crate::race::{race, RaceContext, RaceLogEntry, RaceSettings};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
-/// A cost function the tuner minimises.
+/// An infallible cost function the tuner minimises.
 ///
 /// In the paper's setting, the cost of a configuration on an instance is
 /// the simulator's CPI-prediction error against the hardware measurement
-/// for one micro-benchmark.
+/// for one micro-benchmark. Pure simulation against pre-recorded
+/// measurements cannot fail; cost functions that talk to live hardware
+/// (or can hang, panic, or produce non-finite CPI) should implement
+/// [`TryCostFn`] instead — every [`CostFn`] is automatically a
+/// [`TryCostFn`] whose non-finite results are rejected as
+/// [`EvalError::Config`] faults.
 pub trait CostFn: Sync {
     /// The cost of `cfg` on benchmark `instance` (lower is better).
     fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64;
@@ -27,6 +37,54 @@ where
     }
 }
 
+/// A fallible cost function: what the racing layer actually consumes.
+///
+/// Failures are classified by [`EvalError`] into board-side faults
+/// (retried, then the *instance* is quarantined) and config-side faults
+/// (the *configuration* is eliminated with a logged reason). Every
+/// [`CostFn`] implements this trait via a blanket adapter that rejects
+/// non-finite costs at the boundary.
+pub trait TryCostFn: Sync {
+    /// The cost of `cfg` on benchmark `instance`, or a classified fault.
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError>;
+}
+
+impl<C: CostFn + ?Sized> TryCostFn for C {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        let c = self.cost(cfg, space, instance);
+        if c.is_finite() {
+            Ok(c)
+        } else {
+            Err(EvalError::Config(format!("non-finite cost {c}")))
+        }
+    }
+}
+
+/// Adapts a `&dyn CostFn` (unsized, so the blanket impl's trait-object
+/// coercion cannot apply) into a [`TryCostFn`].
+struct Fallible<'a>(&'a dyn CostFn);
+
+impl TryCostFn for Fallible<'_> {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        self.0.try_cost(cfg, space, instance)
+    }
+}
+
 /// Settings of the iterated-racing tuner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TunerSettings {
@@ -34,7 +92,8 @@ pub struct TunerSettings {
     /// configurable maximum number of trials"; the paper budgets 10 K to
     /// 100 K).
     pub budget: u64,
-    /// Race settings (significance level, first test, survivor floor).
+    /// Race settings (significance level, first test, survivor floor,
+    /// retry policy).
     pub race: RaceSettings,
     /// Elites kept between iterations.
     pub n_elites: usize,
@@ -44,8 +103,15 @@ pub struct TunerSettings {
     pub seed: u64,
     /// Optional wall-clock limit: the tuner starts no new iteration after
     /// this many seconds ("the user can define criteria to terminate the
-    /// tuning process, e.g. … a maximum finite time").
+    /// tuning process, e.g. … a maximum finite time"). Measured from the
+    /// start of the current process — a resumed run restarts the clock.
     pub max_seconds: Option<u64>,
+    /// Optional cap on iterations run *in this process*. The natural
+    /// iteration count (`2 + ⌊log₂ #params⌋`) still bounds the schedule;
+    /// this stops earlier — after the checkpoint for the last completed
+    /// iteration is written — which makes deterministic kill-and-resume
+    /// tests (and operator-driven staged runs) possible.
+    pub max_iterations: Option<usize>,
 }
 
 impl Default for TunerSettings {
@@ -57,6 +123,7 @@ impl Default for TunerSettings {
             threads: 1,
             seed: 0xBADC_AB1E,
             max_seconds: None,
+            max_iterations: None,
         }
     }
 }
@@ -75,7 +142,7 @@ pub struct IterationSummary {
     pub evals_used: u64,
     /// Best mean cost seen at the end of the iteration.
     pub best_cost: f64,
-    /// Elimination log of the race.
+    /// Elimination/failure log of the race.
     pub eliminations: Vec<RaceLogEntry>,
 }
 
@@ -95,6 +162,17 @@ pub struct TuneResult {
     pub pruned: u64,
     /// Per-iteration summaries.
     pub history: Vec<IterationSummary>,
+    /// Instances quarantined as unmeasurable, with reasons.
+    pub quarantined: Vec<(usize, String)>,
+    /// Configurations eliminated because their evaluation failed.
+    pub failed_configs: u64,
+    /// Transient-fault retries performed.
+    pub retries: u64,
+    /// True when the run was cancelled before its schedule completed.
+    pub aborted: bool,
+    /// Non-fatal conditions worth surfacing (checkpoint I/O problems,
+    /// ignored resume files).
+    pub warnings: Vec<String>,
 }
 
 /// A predicate that rejects statically unrealisable configurations before
@@ -116,6 +194,9 @@ pub trait Tuner {
 pub struct RacingTuner {
     settings: TunerSettings,
     pruner: Option<Pruner>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for RacingTuner {
@@ -123,7 +204,9 @@ impl std::fmt::Debug for RacingTuner {
         f.debug_struct("RacingTuner")
             .field("settings", &self.settings)
             .field("pruner", &self.pruner.as_ref().map(|_| "<fn>"))
-            .finish()
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .finish_non_exhaustive()
     }
 }
 
@@ -133,6 +216,9 @@ impl RacingTuner {
         RacingTuner {
             settings,
             pruner: None,
+            checkpoint: None,
+            resume: None,
+            cancel: None,
         }
     }
 
@@ -143,36 +229,124 @@ impl RacingTuner {
         self
     }
 
+    /// Writes a [`TunerCheckpoint`] to `path` (atomically: temp file,
+    /// then rename) after every completed iteration.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> RacingTuner {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resumes from the checkpoint at `path`, if it exists and matches
+    /// this run (same seed, same parameter space, same instance count).
+    /// A missing file starts a fresh run; a mismatched or corrupt one is
+    /// ignored with a [`TuneResult::warnings`] entry.
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> RacingTuner {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Installs a cooperative cancellation flag, checked between race
+    /// blocks. A cancelled run returns with [`TuneResult::aborted`] set;
+    /// the partially-raced iteration is discarded, so resuming from the
+    /// last checkpoint replays it exactly.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> RacingTuner {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The settings in use.
     pub fn settings(&self) -> &TunerSettings {
         &self.settings
     }
-}
 
-impl Tuner for RacingTuner {
-    fn tune(&self, space: &ParamSpace, cost: &dyn CostFn, n_instances: usize) -> TuneResult {
+    /// The fallible core of [`Tuner::tune`]: minimises `cost` over
+    /// `space`, surviving evaluation faults, and — when configured —
+    /// checkpointing after every iteration and resuming from a prior
+    /// checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_instances` is zero or `space` is empty — both
+    /// indicate a caller bug, not a runtime condition.
+    pub fn try_tune(
+        &self,
+        space: &ParamSpace,
+        cost: &dyn TryCostFn,
+        n_instances: usize,
+    ) -> TuneResult {
         assert!(n_instances > 0, "need at least one instance");
         assert!(!space.is_empty(), "need at least one parameter");
         let st = &self.settings;
-        let mut rng = StdRng::seed_from_u64(st.seed);
-        let mut model = SamplingModel::new(space);
-        let cache = CostCache::new();
+        let mut warnings = Vec::new();
 
         // irace: N_iter = 2 + floor(log2(#params)).
         let n_iters = 2 + (space.len() as f64).log2().floor() as usize;
+        let stop_after = st.max_iterations.map_or(n_iters, |cap| cap.min(n_iters));
+
+        let mut rng = StdRng::seed_from_u64(st.seed);
+        let mut model = SamplingModel::new(space);
+        let cache = CostCache::new();
+        let quarantine = Quarantine::new();
         let mut budget = st.budget;
         let mut elites: Vec<(Configuration, f64)> = Vec::new();
         let mut history = Vec::new();
         let mut evals_total = 0u64;
         let mut pruned_total = 0u64;
-        let started = std::time::Instant::now();
+        let mut retries_total = 0u64;
+        let mut failed_total = 0u64;
+        let mut first_iter = 0usize;
 
-        for iter in 0..n_iters {
+        if let Some(path) = &self.resume {
+            match TunerCheckpoint::read(path, space) {
+                Ok(cp) => match cp.validate(space, st, n_instances) {
+                    Ok(()) => {
+                        first_iter = cp.next_iteration;
+                        budget = cp.budget_remaining;
+                        evals_total = cp.evals_used;
+                        pruned_total = cp.pruned;
+                        retries_total = cp.retries;
+                        failed_total = cp.failed_configs;
+                        rng = StdRng::from_state(cp.rng_state);
+                        model = SamplingModel::from_parts(cp.weights, cp.spread);
+                        elites = cp.elites;
+                        history = cp.history;
+                        for (inst, reason) in cp.quarantine {
+                            quarantine.insert(inst, reason);
+                        }
+                        for (cfg, inst, c) in cp.cache {
+                            cache.put(&cfg, inst, c);
+                        }
+                    }
+                    Err(e) => warnings.push(format!("ignoring checkpoint {}: {e}", path.display())),
+                },
+                Err(e) if !path.exists() => {
+                    let _ = e; // a missing checkpoint is a normal first run
+                }
+                Err(e) => warnings.push(format!(
+                    "ignoring unreadable checkpoint {}: {e}",
+                    path.display()
+                )),
+            }
+        }
+
+        let started = std::time::Instant::now();
+        let mut aborted = false;
+
+        for iter in first_iter..n_iters {
+            if iter >= stop_after {
+                break;
+            }
             if budget < (st.race.first_test * (st.race.min_survivors + 1)) as u64 {
                 break;
             }
             if let Some(limit) = st.max_seconds {
                 if started.elapsed().as_secs() >= limit {
+                    break;
+                }
+            }
+            if let Some(cancel) = &self.cancel {
+                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                    aborted = true;
                     break;
                 }
             }
@@ -231,16 +405,36 @@ impl Tuner for RacingTuner {
                 &configs,
                 &order,
                 cost,
-                &cache,
+                RaceContext {
+                    cache: &cache,
+                    quarantine: &quarantine,
+                    cancel: self.cancel.as_deref(),
+                    threads: st.threads,
+                },
                 &st.race,
                 &mut race_budget,
-                st.threads,
             );
+            if result.aborted {
+                // Discard the partial iteration entirely: budget, elites
+                // and history keep their pre-iteration values, so a resume
+                // from the last checkpoint replays this iteration
+                // bit-identically.
+                aborted = true;
+                break;
+            }
             let used = before - race_budget;
             budget = budget.saturating_sub(used);
             evals_total += result.evals_used;
+            retries_total += result.retries;
+            failed_total += result
+                .log
+                .iter()
+                .filter(|e| matches!(e, RaceLogEntry::Failed { .. }))
+                .count() as u64;
 
-            // New elite set.
+            // New elite set. A race in which every configuration failed
+            // leaves no survivors; the model then resamples from scratch
+            // next iteration.
             elites = result
                 .survivors
                 .iter()
@@ -259,6 +453,33 @@ impl Tuner for RacingTuner {
                 best_cost: elites.first().map(|(_, c)| *c).unwrap_or(f64::NAN),
                 eliminations: result.log,
             });
+
+            if let Some(path) = &self.checkpoint {
+                let cp = TunerCheckpoint {
+                    next_iteration: iter + 1,
+                    budget_remaining: budget,
+                    evals_used: evals_total,
+                    pruned: pruned_total,
+                    retries: retries_total,
+                    failed_configs: failed_total,
+                    seed: st.seed,
+                    n_instances,
+                    space_fingerprint: TunerCheckpoint::fingerprint(space),
+                    rng_state: rng.state(),
+                    spread: model.spread,
+                    weights: model.weights().to_vec(),
+                    elites: elites.clone(),
+                    quarantine: quarantine.entries(),
+                    cache: cache.entries(),
+                    history: history.clone(),
+                };
+                if let Err(e) = cp.save(path) {
+                    warnings.push(format!(
+                        "failed to write checkpoint {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
         }
 
         let (best, best_cost) = elites
@@ -272,7 +493,18 @@ impl Tuner for RacingTuner {
             evals_used: evals_total,
             pruned: pruned_total,
             history,
+            quarantined: quarantine.entries(),
+            failed_configs: failed_total,
+            retries: retries_total,
+            aborted,
+            warnings,
         }
+    }
+}
+
+impl Tuner for RacingTuner {
+    fn tune(&self, space: &ParamSpace, cost: &dyn CostFn, n_instances: usize) -> TuneResult {
+        self.try_tune(space, &Fallible(cost), n_instances)
     }
 }
 
@@ -322,6 +554,11 @@ mod tests {
         assert!(r.best.flag(&s, "boost"));
         assert!(r.evals_used <= 4_000);
         assert!(!r.history.is_empty());
+        assert_eq!(r.failed_configs, 0);
+        assert_eq!(r.retries, 0);
+        assert!(r.quarantined.is_empty());
+        assert!(!r.aborted);
+        assert!(r.warnings.is_empty());
     }
 
     #[test]
@@ -398,6 +635,59 @@ mod tests {
         .tune(&s, &Bowl, 12);
         assert!(r.history.is_empty(), "no iteration may start at 0s");
         assert_eq!(r.evals_used, 0);
+    }
+
+    #[test]
+    fn max_iterations_caps_the_schedule() {
+        let s = space();
+        let r = RacingTuner::new(TunerSettings {
+            budget: 4_000,
+            seed: 7,
+            max_iterations: Some(1),
+            ..TunerSettings::default()
+        })
+        .tune(&s, &Bowl, 12);
+        assert_eq!(r.history.len(), 1);
+        assert!(!r.aborted, "a capped run is complete, not cancelled");
+    }
+
+    #[test]
+    fn cancellation_flag_aborts_the_run() {
+        let s = space();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let r = RacingTuner::new(TunerSettings {
+            budget: 4_000,
+            seed: 7,
+            ..TunerSettings::default()
+        })
+        .with_cancel(Arc::clone(&cancel))
+        .tune(&s, &Bowl, 12);
+        assert!(r.aborted);
+        assert_eq!(r.evals_used, 0);
+    }
+
+    #[test]
+    fn config_side_faults_eliminate_without_poisoning_the_result() {
+        struct Spiky;
+        impl CostFn for Spiky {
+            fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+                if cfg.categorical(space, "mode") == "awful" {
+                    return f64::NAN; // rejected at the TryCostFn boundary
+                }
+                Bowl.cost(cfg, space, instance)
+            }
+        }
+        let s = space();
+        let r = RacingTuner::new(TunerSettings {
+            budget: 3_000,
+            seed: 13,
+            ..TunerSettings::default()
+        })
+        .tune(&s, &Spiky, 12);
+        assert!(r.best_cost.is_finite());
+        assert!(r.failed_configs > 0, "NaN configs were raced and removed");
+        assert_ne!(r.best.categorical(&s, "mode"), "awful");
+        assert!(r.quarantined.is_empty(), "config faults never quarantine");
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! End-to-end fault-tolerance: the tuner must survive every failure mode
+//! of a cost evaluation — transient glitches, persistently dead
+//! instances, and broken configurations — without poisoning its result.
+
+use racesim_race::{
+    Configuration, EvalError, ParamSpace, RacingTuner, RetryPolicy, TryCostFn, TunerSettings,
+};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn space() -> ParamSpace {
+    let mut s = ParamSpace::new();
+    s.add_integer("x", &[-4, -2, -1, 0, 1, 2, 4]);
+    s.add_integer("y", &[-4, -2, -1, 0, 1, 2, 4]);
+    s.add_bool("b");
+    s
+}
+
+fn bowl(cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+    let x = cfg.integer(space, "x") as f64;
+    let y = cfg.integer(space, "y") as f64;
+    let b = if cfg.flag(space, "b") { -0.5 } else { 0.0 };
+    x * x + y * y + b + (instance % 5) as f64 * 0.1
+}
+
+fn settings(budget: u64, seed: u64) -> TunerSettings {
+    let mut st = TunerSettings {
+        budget,
+        seed,
+        ..TunerSettings::default()
+    };
+    // Pure-simulation tests never want real backoff sleeps.
+    st.race.retry = RetryPolicy::immediate(3);
+    st
+}
+
+/// Fails transiently on the first `flaky_attempts` attempts of every
+/// (configuration, instance) pair, then succeeds — the retry loop must
+/// absorb all of it.
+struct Flaky {
+    flaky_attempts: u32,
+    attempts: Mutex<HashMap<(Vec<u8>, usize), u32>>,
+}
+
+impl Flaky {
+    fn new(flaky_attempts: u32) -> Flaky {
+        Flaky {
+            flaky_attempts,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn key(cfg: &Configuration, space: &ParamSpace, instance: usize) -> (Vec<u8>, usize) {
+        (cfg.render(space).into_bytes(), instance)
+    }
+}
+
+impl TryCostFn for Flaky {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        let mut map = self.attempts.lock().unwrap();
+        let n = map.entry(Self::key(cfg, space, instance)).or_insert(0);
+        *n += 1;
+        if *n <= self.flaky_attempts {
+            return Err(EvalError::Transient(format!("glitch on attempt {n}")));
+        }
+        Ok(bowl(cfg, space, instance))
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_until_they_clear() {
+    let s = space();
+    let cost = Flaky::new(2); // attempts 1 and 2 fail, 3 succeeds
+    let result = RacingTuner::new(settings(600, 3)).try_tune(&s, &cost, 10);
+    assert!(!result.aborted);
+    assert!(result.best_cost.is_finite());
+    assert!(result.retries > 0, "retries must be accounted");
+    assert!(result.quarantined.is_empty(), "nothing persistently failed");
+    assert_eq!(result.failed_configs, 0);
+    // The optimum is still found despite every evaluation glitching twice.
+    assert_eq!(result.best.integer(&s, "x"), 0);
+    assert_eq!(result.best.integer(&s, "y"), 0);
+}
+
+/// One instance is dead on every attempt; everything else is clean.
+struct DeadInstance(usize);
+
+impl TryCostFn for DeadInstance {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        if instance == self.0 {
+            return Err(EvalError::Instance("counters never arrived".to_string()));
+        }
+        Ok(bowl(cfg, space, instance))
+    }
+}
+
+#[test]
+fn a_dead_instance_is_quarantined_and_only_that_instance() {
+    let s = space();
+    let result = RacingTuner::new(settings(600, 7)).try_tune(&s, &DeadInstance(3), 10);
+    assert!(result.best_cost.is_finite());
+    assert_eq!(result.quarantined.len(), 1, "{:?}", result.quarantined);
+    assert_eq!(result.quarantined[0].0, 3);
+    assert!(result.quarantined[0].1.contains("counters never arrived"));
+    // The race went on without the dead instance.
+    assert_eq!(result.best.integer(&s, "x"), 0);
+    assert_eq!(result.best.integer(&s, "y"), 0);
+}
+
+/// Transient faults that never clear on one instance: the retry loop must
+/// exhaust its attempts and then quarantine, not spin forever.
+struct NeverClears(usize);
+
+impl TryCostFn for NeverClears {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        if instance == self.0 {
+            return Err(EvalError::Transient("thermal storm".to_string()));
+        }
+        Ok(bowl(cfg, space, instance))
+    }
+}
+
+#[test]
+fn exhausted_transient_retries_escalate_to_quarantine() {
+    let s = space();
+    let result = RacingTuner::new(settings(600, 11)).try_tune(&s, &NeverClears(0), 10);
+    assert!(result.best_cost.is_finite());
+    assert_eq!(result.quarantined.len(), 1);
+    assert_eq!(result.quarantined[0].0, 0);
+    assert!(
+        result.quarantined[0].1.contains("transient"),
+        "{}",
+        result.quarantined[0].1
+    );
+    assert!(result.retries > 0);
+}
+
+/// Configurations in one corner of the space cannot be evaluated at all.
+struct BrokenCorner;
+
+impl TryCostFn for BrokenCorner {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        if cfg.integer(space, "x") == -4 {
+            return Err(EvalError::Config("simulator deadlocked".to_string()));
+        }
+        Ok(bowl(cfg, space, instance))
+    }
+}
+
+#[test]
+fn broken_configurations_are_eliminated_not_fatal() {
+    let s = space();
+    let result = RacingTuner::new(settings(600, 13)).try_tune(&s, &BrokenCorner, 10);
+    assert!(result.best_cost.is_finite());
+    assert!(result.failed_configs > 0, "the corner must have been hit");
+    assert!(result.quarantined.is_empty(), "no board-side fault here");
+    assert_ne!(result.best.integer(&s, "x"), -4);
+    // The failure reasons surface in the race history.
+    let failures: usize = result
+        .history
+        .iter()
+        .flat_map(|it| &it.eliminations)
+        .filter(|e| matches!(e, racesim_race::RaceLogEntry::Failed { .. }))
+        .count();
+    assert!(failures > 0, "failed eliminations must be logged");
+}
+
+/// Everything fails: the tuner must terminate with a NaN best cost and an
+/// intact quarantine/failure report rather than hanging or panicking.
+struct TotalLoss;
+
+impl TryCostFn for TotalLoss {
+    fn try_cost(&self, _: &Configuration, _: &ParamSpace, _: usize) -> Result<f64, EvalError> {
+        Err(EvalError::Instance("board on fire".to_string()))
+    }
+}
+
+#[test]
+fn total_board_loss_terminates_cleanly() {
+    let s = space();
+    let result = RacingTuner::new(settings(200, 17)).try_tune(&s, &TotalLoss, 4);
+    assert!(!result.best_cost.is_finite());
+    assert_eq!(result.quarantined.len(), 4, "{:?}", result.quarantined);
+}
+
+/// A panicking cost function is a config-side fault, not a crash.
+struct Panics;
+
+impl TryCostFn for Panics {
+    fn try_cost(
+        &self,
+        cfg: &Configuration,
+        space: &ParamSpace,
+        instance: usize,
+    ) -> Result<f64, EvalError> {
+        if cfg.integer(space, "x") == 4 && cfg.integer(space, "y") == 4 {
+            panic!("simulated simulator bug");
+        }
+        Ok(bowl(cfg, space, instance))
+    }
+}
+
+#[test]
+fn cost_function_panics_are_contained() {
+    let s = space();
+    let result = RacingTuner::new(settings(600, 19)).try_tune(&s, &Panics, 10);
+    assert!(result.best_cost.is_finite());
+    assert_eq!(result.best.integer(&s, "x"), 0);
+}

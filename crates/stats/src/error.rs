@@ -1,4 +1,48 @@
-//! Error metrics used throughout the validation methodology.
+//! Error metrics used throughout the validation methodology, and the
+//! typed error the hypothesis tests return on invalid input.
+
+use std::fmt;
+
+/// Why a hypothesis test rejected its input.
+///
+/// The racing layer feeds these tests with measured costs; a NaN that
+/// slipped past the evaluation boundary, or a ragged matrix produced by a
+/// bookkeeping bug, must surface as a typed error rather than silently
+/// mis-ranking configurations (`NaN.partial_cmp` ties everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// An input value was NaN or infinite.
+    NonFinite,
+    /// The cost matrix rows have different lengths.
+    Ragged,
+    /// Fewer than two blocks (instances) were supplied.
+    TooFewBlocks,
+    /// Fewer than two configurations were supplied.
+    TooFewConfigs,
+    /// Paired samples differ in length.
+    LengthMismatch,
+    /// Fewer than two pairs were supplied.
+    TooFewPairs,
+    /// Every block is completely tied: the test statistic is undefined.
+    AllTied,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            StatsError::NonFinite => "input contains a NaN or infinite value",
+            StatsError::Ragged => "cost matrix rows have different lengths",
+            StatsError::TooFewBlocks => "need at least two blocks",
+            StatsError::TooFewConfigs => "need at least two configurations",
+            StatsError::LengthMismatch => "paired samples differ in length",
+            StatsError::TooFewPairs => "need at least two pairs",
+            StatsError::AllTied => "every block is completely tied",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Absolute percentage error of `predicted` against `reference`, in
 /// percent — the paper's per-benchmark "CPI error".

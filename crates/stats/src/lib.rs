@@ -20,6 +20,6 @@ mod tests;
 
 pub use descriptive::{mean, population_variance, sample_std_dev, sample_variance};
 pub use dist::{chi_squared_sf, ln_gamma, normal_sf, student_t_sf};
-pub use error::{abs_pct_error, mean_abs_pct_error, signed_pct_error};
+pub use error::{abs_pct_error, mean_abs_pct_error, signed_pct_error, StatsError};
 pub use ranks::rank_with_ties;
 pub use tests::{friedman_test, paired_t_test, wilcoxon_signed_rank, FriedmanOutcome};

@@ -2,6 +2,7 @@
 
 use crate::descriptive::{mean, sample_std_dev};
 use crate::dist::{chi_squared_sf, normal_sf, student_t_sf};
+use crate::error::StatsError;
 use crate::ranks::rank_with_ties;
 
 /// Result of a Friedman rank test across configurations.
@@ -21,19 +22,25 @@ pub struct FriedmanOutcome {
 /// Friedman rank test.
 ///
 /// `costs[i][j]` is the cost of configuration `j` on instance (block) `i`;
-/// every row must have the same length `k >= 2`, and there must be at
-/// least two rows. Returns `None` when the statistic is undefined (all
-/// rows completely tied).
-///
-/// # Panics
-///
-/// Panics on ragged input or fewer than 2 configurations/blocks.
-pub fn friedman_test(costs: &[Vec<f64>]) -> Option<FriedmanOutcome> {
+/// every row must have the same length `k >= 2`, there must be at least
+/// two rows, and every value must be finite. Invalid input is a typed
+/// [`StatsError`]; [`StatsError::AllTied`] signals an undefined statistic
+/// (no evidence of any difference), not a caller bug.
+pub fn friedman_test(costs: &[Vec<f64>]) -> Result<FriedmanOutcome, StatsError> {
     let n = costs.len();
-    assert!(n >= 2, "Friedman needs at least two blocks");
+    if n < 2 {
+        return Err(StatsError::TooFewBlocks);
+    }
     let k = costs[0].len();
-    assert!(k >= 2, "Friedman needs at least two configurations");
-    assert!(costs.iter().all(|row| row.len() == k), "ragged cost matrix");
+    if k < 2 {
+        return Err(StatsError::TooFewConfigs);
+    }
+    if costs.iter().any(|row| row.len() != k) {
+        return Err(StatsError::Ragged);
+    }
+    if costs.iter().flatten().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
 
     let mut rank_sums = vec![0.0; k];
     let mut tie_correction = 0.0; // sum over blocks of (sum t^3 - t)
@@ -64,11 +71,11 @@ pub fn friedman_test(costs: &[Vec<f64>]) -> Option<FriedmanOutcome> {
     let numerator = 12.0 * sum_r2 - 3.0 * n_f * n_f * k_f * (k_f + 1.0) * (k_f + 1.0);
     let denominator = n_f * k_f * (k_f + 1.0) - tie_correction / (k_f - 1.0);
     if denominator <= 0.0 {
-        return None; // every block fully tied
+        return Err(StatsError::AllTied); // every block fully tied
     }
     let statistic = numerator / denominator;
     let p_value = chi_squared_sf(statistic.max(0.0), (k - 1) as u32);
-    Some(FriedmanOutcome {
+    Ok(FriedmanOutcome {
         statistic,
         p_value,
         rank_sums,
@@ -76,43 +83,49 @@ pub fn friedman_test(costs: &[Vec<f64>]) -> Option<FriedmanOutcome> {
     })
 }
 
+/// Checks both paired samples for shape and finiteness.
+fn check_pairs(a: &[f64], b: &[f64], min_pairs: usize) -> Result<(), StatsError> {
+    if a.len() != b.len() {
+        return Err(StatsError::LengthMismatch);
+    }
+    if a.len() < min_pairs {
+        return Err(StatsError::TooFewPairs);
+    }
+    if a.iter().chain(b).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
 /// Two-sided paired t-test on paired observations.
 ///
 /// Returns `(t, p)`; `p = 1` when the differences have zero variance
 /// (no evidence either way) unless the mean difference is also non-zero
-/// with zero variance, in which case `p = 0`.
-///
-/// # Panics
-///
-/// Panics if the slices differ in length or have fewer than 2 pairs.
-pub fn paired_t_test(a: &[f64], b: &[f64]) -> (f64, f64) {
-    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
-    assert!(a.len() >= 2, "paired test needs at least two pairs");
+/// with zero variance, in which case `p = 0`. Mismatched lengths, fewer
+/// than two pairs, or non-finite values are typed errors.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<(f64, f64), StatsError> {
+    check_pairs(a, b, 2)?;
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let m = mean(&diffs);
     let sd = sample_std_dev(&diffs);
     if sd == 0.0 {
-        return if m == 0.0 {
+        return Ok(if m == 0.0 {
             (0.0, 1.0)
         } else {
             (f64::INFINITY * m.signum(), 0.0)
-        };
+        });
     }
     let t = m / (sd / (diffs.len() as f64).sqrt());
     let p = student_t_sf(t, (diffs.len() - 1) as u32);
-    (t, p)
+    Ok((t, p))
 }
 
 /// Two-sided Wilcoxon signed-rank test (normal approximation with
 /// continuity correction). Zero differences are dropped, per Wilcoxon's
 /// original procedure. Returns `(w_plus, p)`; `p = 1` when every pair is
-/// tied.
-///
-/// # Panics
-///
-/// Panics if the slices differ in length.
-pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
-    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+/// tied. Mismatched lengths or non-finite values are typed errors.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<(f64, f64), StatsError> {
+    check_pairs(a, b, 0)?;
     let diffs: Vec<f64> = a
         .iter()
         .zip(b)
@@ -121,7 +134,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
         .collect();
     let n = diffs.len();
     if n == 0 {
-        return (0.0, 1.0);
+        return Ok((0.0, 1.0));
     }
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = rank_with_ties(&abs);
@@ -135,11 +148,11 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
     let mu = n_f * (n_f + 1.0) / 4.0;
     let sigma = (n_f * (n_f + 1.0) * (2.0 * n_f + 1.0) / 24.0).sqrt();
     if sigma == 0.0 {
-        return (w_plus, 1.0);
+        return Ok((w_plus, 1.0));
     }
     let z = (w_plus - mu).abs() - 0.5;
     let p = (2.0 * normal_sf(z.max(0.0) / sigma)).min(1.0);
-    (w_plus, p)
+    Ok((w_plus, p))
 }
 
 #[cfg(test)]
@@ -176,9 +189,9 @@ mod tests {
     }
 
     #[test]
-    fn friedman_all_tied_returns_none() {
+    fn friedman_all_tied_is_a_typed_outcome() {
         let costs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
-        assert!(friedman_test(&costs).is_none());
+        assert_eq!(friedman_test(&costs), Err(StatsError::AllTied));
     }
 
     #[test]
@@ -198,14 +211,55 @@ mod tests {
     }
 
     #[test]
+    fn invalid_shapes_are_typed_errors() {
+        assert_eq!(
+            friedman_test(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(StatsError::Ragged)
+        );
+        assert_eq!(
+            friedman_test(&[vec![1.0, 2.0]]),
+            Err(StatsError::TooFewBlocks)
+        );
+        assert_eq!(
+            friedman_test(&[vec![1.0], vec![2.0]]),
+            Err(StatsError::TooFewConfigs)
+        );
+        assert_eq!(
+            paired_t_test(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch)
+        );
+        assert_eq!(paired_t_test(&[1.0], &[1.0]), Err(StatsError::TooFewPairs));
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_not_misranked() {
+        let nan_matrix = vec![vec![1.0, f64::NAN], vec![2.0, 3.0]];
+        assert_eq!(friedman_test(&nan_matrix), Err(StatsError::NonFinite));
+        let inf_matrix = vec![vec![1.0, 2.0], vec![f64::INFINITY, 3.0]];
+        assert_eq!(friedman_test(&inf_matrix), Err(StatsError::NonFinite));
+        assert_eq!(
+            paired_t_test(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::NonFinite)
+        );
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0, 2.0], &[f64::NEG_INFINITY, 2.0]),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
     fn paired_t_detects_shift() {
         let a = [5.1, 4.9, 5.3, 5.0, 5.2, 5.1, 4.8, 5.0];
         let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
-        let (t, p) = paired_t_test(&a, &b);
+        let (t, p) = paired_t_test(&a, &b).unwrap();
         assert!(t < 0.0);
         assert!(p < 1e-6, "p = {p}");
 
-        let (_, p_same) = paired_t_test(&a, &a);
+        let (_, p_same) = paired_t_test(&a, &a).unwrap();
         assert!((p_same - 1.0).abs() < 1e-12);
     }
 
@@ -213,7 +267,7 @@ mod tests {
     fn paired_t_no_signal_in_noise() {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
-        let (_, p) = paired_t_test(&a, &b);
+        let (_, p) = paired_t_test(&a, &b).unwrap();
         assert!(p > 0.5, "p = {p}");
     }
 
@@ -221,16 +275,10 @@ mod tests {
     fn wilcoxon_detects_shift_and_ignores_ties() {
         let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let b: Vec<f64> = a.iter().map(|x| x + 2.0).collect();
-        let (_, p) = wilcoxon_signed_rank(&a, &b);
+        let (_, p) = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(p < 0.001, "p = {p}");
 
-        let (_, p_tied) = wilcoxon_signed_rank(&a, &a.clone());
+        let (_, p_tied) = wilcoxon_signed_rank(&a, &a.clone()).unwrap();
         assert_eq!(p_tied, 1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_matrix_rejected() {
-        let _ = friedman_test(&[vec![1.0, 2.0], vec![1.0]]);
     }
 }

@@ -180,6 +180,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for exact checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`state`](Self::state): the restored generator produces the
+        /// same stream the original would have continued with.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
