@@ -7,7 +7,8 @@
 //! racesim probe    --board a53              lmbench-style latency estimation
 //! racesim config   --platform a72           dump a platform config file
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
-//! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS]
+//! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS] [--telemetry F]
+//! racesim report   <JOURNAL> [--json]
 //! racesim lint     [--json] [--revision fixed|initial]
 //! ```
 
@@ -18,8 +19,10 @@ use racesim_hw::{FaultPlan, FaultyBoard, HardwarePlatform, ReferenceBoard};
 use racesim_kernels::{microbench_suite, probes, spec_suite, Scale, Workload};
 use racesim_race::{RaceSettings, RacingTuner, TryCostFn, TunerSettings, Watchdog};
 use racesim_sim::{config_text, Platform, Simulator};
+use racesim_telemetry::{read_journal, Event, JournalEntry, Telemetry};
 use racesim_uarch::CoreKind;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,6 +41,7 @@ COMMANDS:
     config                        print a platform configuration file
     validate                      run the full validation methodology and save the tuned model
     tune                          fault-tolerant tuning with checkpoint/resume and fault injection
+    report <JOURNAL>              summarize a telemetry journal written by `tune --telemetry`
     lint                          statically check platforms, parameter spaces and kernels
     help                          show this message
 
@@ -62,6 +66,11 @@ TUNE OPTIONS:
     --faults <none|transient|aggressive>
                                   inject deterministic board faults into the tune measurements
     --fault-seed <N>              seed of the fault plan (default 1)
+    --telemetry <FILE>            journal campaign events and metrics as JSONL (appends when
+                                  resuming an existing journal; see `racesim report`)
+
+REPORT OPTIONS:
+    --json                        machine-readable campaign summary (stable schema)
 ";
 
 /// Flags that take no value.
@@ -345,6 +354,30 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     let decoder = v.decoder();
     let suite = v.suite();
 
+    // One telemetry handle threads through the whole stack: tuner, cost
+    // function, board and (per evaluation) simulators all share it. When
+    // resuming into an existing journal, append — the merged file stays
+    // one well-formed campaign record.
+    let telemetry = match flags.get("telemetry") {
+        Some(path) => {
+            let p = PathBuf::from(path);
+            let append = flags.contains_key("resume") && p.exists();
+            let t = Telemetry::to_file(&p, append)
+                .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+            println!(
+                "journaling telemetry to {path}{}",
+                if append { " (appending)" } else { "" }
+            );
+            t
+        }
+        None => Telemetry::disabled(),
+    };
+
+    let base_board = match kind {
+        CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+        CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+    }
+    .with_telemetry(telemetry.clone());
     let tune_board: Arc<dyn HardwarePlatform> = match fault_plan_of(flags)? {
         Some(plan) => {
             println!(
@@ -354,26 +387,18 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
                 100.0 * plan.spike_rate,
                 100.0 * plan.hang_rate
             );
-            Arc::new(FaultyBoard::new(
-                match kind {
-                    CoreKind::InOrder => ReferenceBoard::firefly_a53(),
-                    CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
-                },
-                plan,
-            ))
+            Arc::new(FaultyBoard::new(base_board, plan).with_telemetry(telemetry.clone()))
         }
-        None => Arc::new(match kind {
-            CoreKind::InOrder => ReferenceBoard::firefly_a53(),
-            CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
-        }),
+        None => Arc::new(base_board),
     };
     let cost = Arc::new(
         LazySuiteCost::new(tune_board, &suite, base.clone(), decoder, settings.metric)
-            .map_err(|e| e.to_string())?,
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry.clone()),
     );
     let n_instances = cost.len();
 
-    let mut tuner = RacingTuner::new(settings.tuner);
+    let mut tuner = RacingTuner::new(settings.tuner).with_telemetry(telemetry.clone());
     if let Some(path) = flags.get("checkpoint") {
         tuner = tuner.with_checkpoint(path);
         println!("checkpointing to {path} after every iteration");
@@ -419,6 +444,458 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, config_text::to_text(&tuned))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("tuned configuration written to {path}");
+    }
+    telemetry.flush();
+    if telemetry.io_errors() > 0 {
+        eprintln!(
+            "warning: {} journal write(s) failed; the telemetry file is incomplete",
+            telemetry.io_errors()
+        );
+    }
+    Ok(())
+}
+
+/// Everything `racesim report` shows, digested from one journal. A
+/// journal may span several process segments (checkpoint → kill →
+/// resume): campaign totals come from the **last** `campaign_end`
+/// (those are cumulative across resumes), counters are summed across
+/// segments (each process restarts them at zero), and gauges /
+/// histograms keep the final segment's values.
+#[derive(Debug, Default)]
+struct CampaignSummary {
+    segments: usize,
+    resumes: usize,
+    /// seed, budget, instances, params — from the first `campaign_start`.
+    start: Option<(u64, usize, usize, usize)>,
+    /// best_cost, evals, retries, failed, pruned, aborted — last `campaign_end`.
+    end: Option<(f64, usize, usize, usize, usize, bool)>,
+    /// Wall time summed over every segment.
+    wall_us: u64,
+    /// iteration → configs entering the race (last occurrence wins: a
+    /// killed partial iteration is redone by the resumed segment).
+    iter_configs: BTreeMap<usize, usize>,
+    /// iteration → (survivors, best cost, evals, blocks, micros).
+    iterations: BTreeMap<usize, (usize, f64, usize, usize, u64)>,
+    /// workload → (count, cost sum, wall-time sum).
+    evals: BTreeMap<String, (u64, f64, u64)>,
+    meas_ok: u64,
+    meas_failed: u64,
+    faults: BTreeMap<String, u64>,
+    /// (kind, after_blocks, config) in journal order.
+    eliminations: Vec<(String, usize, String)>,
+    quarantines: Vec<(String, String)>,
+    checkpoints: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    /// name → (count, sum, p50, p90, p99, max).
+    histograms: BTreeMap<String, (u64, u64, u64, u64, u64, u64)>,
+}
+
+impl CampaignSummary {
+    fn digest(entries: &[JournalEntry]) -> CampaignSummary {
+        let mut s = CampaignSummary::default();
+        for e in entries {
+            match &e.event {
+                Event::CampaignStart {
+                    seed,
+                    budget,
+                    n_instances,
+                    n_params,
+                } => {
+                    s.segments += 1;
+                    if s.start.is_none() {
+                        s.start = Some((*seed, *budget, *n_instances, *n_params));
+                    }
+                }
+                Event::Resume { .. } => s.resumes += 1,
+                Event::IterationStart { iteration, configs } => {
+                    s.iter_configs.insert(*iteration, *configs);
+                }
+                Event::IterationEnd {
+                    iteration,
+                    survivors,
+                    best_cost,
+                    evals,
+                    blocks,
+                    micros,
+                } => {
+                    s.iterations.insert(
+                        *iteration,
+                        (*survivors, *best_cost, *evals, *blocks, *micros),
+                    );
+                }
+                Event::Evaluation {
+                    workload,
+                    micros,
+                    cost,
+                } => {
+                    let slot = s.evals.entry(workload.clone()).or_default();
+                    slot.0 += 1;
+                    slot.1 += cost;
+                    slot.2 += micros;
+                }
+                Event::Measurement { ok, .. } => {
+                    if *ok {
+                        s.meas_ok += 1;
+                    } else {
+                        s.meas_failed += 1;
+                    }
+                }
+                Event::Fault { kind, .. } => *s.faults.entry(kind.clone()).or_default() += 1,
+                Event::Elimination {
+                    config,
+                    kind,
+                    after_blocks,
+                    ..
+                } => s
+                    .eliminations
+                    .push((kind.clone(), *after_blocks, config.clone())),
+                Event::Quarantine { instance, reason } => {
+                    s.quarantines.push((instance.clone(), reason.clone()));
+                }
+                Event::Checkpoint { .. } => s.checkpoints += 1,
+                Event::CampaignEnd {
+                    best_cost,
+                    evals,
+                    retries,
+                    failed_configs,
+                    pruned,
+                    aborted,
+                    micros,
+                } => {
+                    s.end = Some((
+                        *best_cost,
+                        *evals,
+                        *retries,
+                        *failed_configs,
+                        *pruned,
+                        *aborted,
+                    ));
+                    s.wall_us += micros;
+                }
+                Event::CounterFinal { name, value } => {
+                    *s.counters.entry(name.clone()).or_default() += value;
+                }
+                Event::GaugeFinal { name, value } => {
+                    s.gauges.insert(name.clone(), *value);
+                }
+                Event::HistogramFinal {
+                    name,
+                    count,
+                    sum,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                } => {
+                    s.histograms
+                        .insert(name.clone(), (*count, *sum, *p50, *p90, *p99, *max));
+                }
+            }
+        }
+        s
+    }
+
+    fn eliminations_by_kind(&self) -> BTreeMap<&str, u64> {
+        let mut m: BTreeMap<&str, u64> = BTreeMap::new();
+        for (kind, _, _) in &self.eliminations {
+            *m.entry(kind).or_default() += 1;
+        }
+        m
+    }
+
+    fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let kv = |k: &str, v: String| vec![k.to_string(), v];
+        let mut rows = Vec::new();
+        if let Some((seed, budget, instances, params)) = self.start {
+            rows.push(kv("seed", format!("{seed:#x}")));
+            rows.push(kv("budget", budget.to_string()));
+            rows.push(kv("instances", instances.to_string()));
+            rows.push(kv("parameters", params.to_string()));
+        }
+        rows.push(kv("segments", self.segments.to_string()));
+        rows.push(kv("resumes", self.resumes.to_string()));
+        rows.push(kv("iterations", self.iterations.len().to_string()));
+        rows.push(kv("checkpoints", self.checkpoints.to_string()));
+        if let Some((best, evals, retries, failed, pruned, aborted)) = self.end {
+            rows.push(kv("best cost", format!("{best:.4}")));
+            rows.push(kv("evaluations", evals.to_string()));
+            rows.push(kv("retries", retries.to_string()));
+            rows.push(kv("failed configs", failed.to_string()));
+            rows.push(kv("pruned", pruned.to_string()));
+            rows.push(kv("aborted", aborted.to_string()));
+        }
+        rows.push(kv("quarantined", self.quarantines.len().to_string()));
+        rows.push(kv(
+            "wall time",
+            format!("{:.1} ms", self.wall_us as f64 / 1000.0),
+        ));
+        let _ = write!(
+            out,
+            "campaign\n{}",
+            report::table(&["field", "value"], &rows)
+        );
+
+        if !self.iterations.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .iterations
+                .iter()
+                .map(|(iter, (survivors, best, evals, blocks, micros))| {
+                    vec![
+                        iter.to_string(),
+                        self.iter_configs
+                            .get(iter)
+                            .map_or("?".to_string(), |c| c.to_string()),
+                        survivors.to_string(),
+                        blocks.to_string(),
+                        evals.to_string(),
+                        format!("{best:.4}"),
+                        format!("{:.1}", *micros as f64 / 1000.0),
+                    ]
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "\niterations\n{}",
+                report::table(
+                    &[
+                        "iter",
+                        "configs",
+                        "survivors",
+                        "blocks",
+                        "evals",
+                        "best cost",
+                        "ms"
+                    ],
+                    &rows
+                )
+            );
+        }
+
+        let time_rows: Vec<(String, f64)> = self
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.ends_with("_us"))
+            .map(|(name, (_, sum, ..))| (name.clone(), *sum as f64 / 1000.0))
+            .collect();
+        if !time_rows.is_empty() {
+            let _ = write!(
+                out,
+                "\ntime spent (summed, ms)\n{}",
+                report::bar_chart(&time_rows, 40, " ms")
+            );
+        }
+
+        if !self.evals.is_empty() {
+            let cost_rows: Vec<(String, f64)> = self
+                .evals
+                .iter()
+                .map(|(w, (count, cost_sum, _))| {
+                    (format!("{w} (x{count})"), cost_sum / (*count).max(1) as f64)
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "\nmean evaluation cost per workload\n{}",
+                report::bar_chart(&cost_rows, 40, "")
+            );
+        }
+
+        if !self.faults.is_empty() || self.meas_failed > 0 {
+            let rows: Vec<Vec<String>> = self
+                .faults
+                .iter()
+                .map(|(kind, n)| vec![kind.clone(), n.to_string()])
+                .collect();
+            let _ = write!(
+                out,
+                "\nfaults\n{}",
+                report::table(&["kind", "count"], &rows)
+            );
+            let _ = writeln!(
+                out,
+                "measurements: {} ok, {} failed",
+                self.meas_ok, self.meas_failed
+            );
+        }
+
+        if !self.eliminations.is_empty() {
+            const SHOWN: usize = 15;
+            let rows: Vec<Vec<String>> = self
+                .eliminations
+                .iter()
+                .take(SHOWN)
+                .map(|(kind, blocks, config)| {
+                    vec![kind.clone(), blocks.to_string(), config.clone()]
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "\neliminations (journal order)\n{}",
+                report::table(&["kind", "after blocks", "configuration"], &rows)
+            );
+            if self.eliminations.len() > SHOWN {
+                let _ = writeln!(out, "(+{} more)", self.eliminations.len() - SHOWN);
+            }
+        }
+
+        for (instance, reason) in &self.quarantines {
+            let _ = writeln!(out, "quarantined {instance}: {reason}");
+        }
+
+        if !self.counters.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(name, v)| vec![name.clone(), v.to_string()])
+                .collect();
+            let _ = write!(
+                out,
+                "\ncounters (summed over segments)\n{}",
+                report::table(&["name", "value"], &rows)
+            );
+        }
+        if !self.histograms.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .histograms
+                .iter()
+                .map(|(name, (count, sum, p50, p90, p99, max))| {
+                    vec![
+                        name.clone(),
+                        count.to_string(),
+                        p50.to_string(),
+                        p90.to_string(),
+                        p99.to_string(),
+                        max.to_string(),
+                        sum.to_string(),
+                    ]
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "\nhistograms (final segment)\n{}",
+                report::table(&["name", "count", "p50", "p90", "p99", "max", "sum"], &rows)
+            );
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                esc(&v.to_string())
+            }
+        }
+        fn map_u64(m: &BTreeMap<String, u64>) -> String {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("{}:{v}", esc(k))).collect();
+            format!("{{{}}}", body.join(","))
+        }
+        let mut parts = Vec::new();
+        match self.start {
+            Some((seed, budget, instances, params)) => {
+                parts.push(format!("\"seed\":{seed}"));
+                parts.push(format!("\"budget\":{budget}"));
+                parts.push(format!("\"instances\":{instances}"));
+                parts.push(format!("\"params\":{params}"));
+            }
+            None => parts.push("\"seed\":null".to_string()),
+        }
+        parts.push(format!("\"segments\":{}", self.segments));
+        parts.push(format!("\"resumes\":{}", self.resumes));
+        parts.push(format!("\"iterations\":{}", self.iterations.len()));
+        parts.push(format!("\"checkpoints\":{}", self.checkpoints));
+        match self.end {
+            Some((best, evals, retries, failed, pruned, aborted)) => {
+                parts.push(format!("\"best_cost\":{}", num(best)));
+                parts.push(format!("\"evals\":{evals}"));
+                parts.push(format!("\"retries\":{retries}"));
+                parts.push(format!("\"failed_configs\":{failed}"));
+                parts.push(format!("\"pruned\":{pruned}"));
+                parts.push(format!("\"aborted\":{aborted}"));
+            }
+            None => parts.push("\"best_cost\":null".to_string()),
+        }
+        parts.push(format!("\"wall_us\":{}", self.wall_us));
+        parts.push(format!("\"quarantined\":{}", self.quarantines.len()));
+        let elim: BTreeMap<String, u64> = self
+            .eliminations_by_kind()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        parts.push(format!("\"eliminations\":{}", map_u64(&elim)));
+        parts.push(format!("\"faults\":{}", map_u64(&self.faults)));
+        parts.push(format!(
+            "\"measurements\":{{\"ok\":{},\"failed\":{}}}",
+            self.meas_ok, self.meas_failed
+        ));
+        let evals: Vec<String> = self
+            .evals
+            .iter()
+            .map(|(w, (count, cost_sum, us))| {
+                format!(
+                    "{}:{{\"count\":{count},\"mean_cost\":{},\"total_us\":{us}}}",
+                    esc(w),
+                    num(cost_sum / (*count).max(1) as f64)
+                )
+            })
+            .collect();
+        parts.push(format!("\"evaluations\":{{{}}}", evals.join(",")));
+        parts.push(format!("\"counters\":{}", map_u64(&self.counters)));
+        parts.push(format!("\"gauges\":{}", map_u64(&self.gauges)));
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(name, (count, sum, p50, p90, p99, max))| {
+                format!(
+                    "{}:{{\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}",
+                    esc(name)
+                )
+            })
+            .collect();
+        parts.push(format!("\"histograms\":{{{}}}", hists.join(",")));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// `racesim report`: render the campaign summary of a telemetry journal
+/// written by `tune --telemetry`. Torn lines (a crash mid-write) are
+/// reported as warnings; everything before them still renders.
+fn cmd_report(journal: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = PathBuf::from(journal);
+    let (entries, errors) =
+        read_journal(&path).map_err(|e| format!("cannot read {journal}: {e}"))?;
+    for (line, e) in &errors {
+        eprintln!("warning: {journal}:{line}: {e}");
+    }
+    if entries.is_empty() {
+        return Err(format!("{journal}: no journal entries"));
+    }
+    let summary = CampaignSummary::digest(&entries);
+    if flags.get("json").is_some() {
+        println!("{}", summary.render_json());
+    } else {
+        print!("{}", summary.render_text());
     }
     Ok(())
 }
@@ -513,7 +990,16 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `report` takes one positional operand (the journal path); every
+    // other command is flags-only.
+    let mut positional = None;
+    let flag_args = if cmd == "report" && args.len() >= 2 && !args[1].starts_with("--") {
+        positional = Some(args[1].clone());
+        &args[2..]
+    } else {
+        &args[1..]
+    };
+    let flags = match parse_flags(flag_args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -528,6 +1014,10 @@ fn main() -> ExitCode {
         "config" => cmd_config(&flags),
         "validate" => cmd_validate(&flags),
         "tune" => cmd_tune(&flags),
+        "report" => match &positional {
+            Some(journal) => cmd_report(journal, &flags),
+            None => Err("report needs a journal path: racesim report <FILE> [--json]".to_string()),
+        },
         "lint" => {
             return match cmd_lint(&flags) {
                 Ok(code) => code,

@@ -66,3 +66,70 @@ fn missing_workload_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
 }
+
+#[test]
+fn tune_with_telemetry_then_report() {
+    let journal = std::env::temp_dir().join(format!(
+        "racesim_cli_telemetry_{}.jsonl",
+        std::process::id()
+    ));
+    let journal_s = journal.display().to_string();
+    let out = racesim(&[
+        "tune",
+        "--core",
+        "a53",
+        "--scale",
+        "16384",
+        "--budget",
+        "80",
+        "--max-iterations",
+        "1",
+        "--faults",
+        "transient",
+        "--telemetry",
+        &journal_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(journal.exists(), "journal file must have been written");
+
+    // Human-readable report renders the campaign shape.
+    let out = racesim(&["report", &journal_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("campaign"), "{text}");
+    assert!(text.contains("best cost"), "{text}");
+    assert!(text.contains("iterations"), "{text}");
+    assert!(text.contains("sim.run_us"), "{text}");
+
+    // Machine-readable report carries the same totals.
+    let out = racesim(&["report", &journal_s, "--json"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "{json}"
+    );
+    assert!(json.contains("\"segments\":1"), "{json}");
+    assert!(json.contains("\"counters\":{"), "{json}");
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn report_without_a_journal_is_a_clean_error() {
+    let out = racesim(&["report"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("journal path"));
+
+    let out = racesim(&["report", "/nonexistent/racesim.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

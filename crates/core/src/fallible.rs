@@ -25,6 +25,7 @@ use racesim_hw::{HardwarePlatform, MeasureError, PerfCounters};
 use racesim_kernels::Workload;
 use racesim_race::{Configuration, EvalError, ParamSpace, TryCostFn};
 use racesim_sim::{Platform, SimOptions, Simulator};
+use racesim_telemetry::{Event, Telemetry};
 use racesim_trace::TraceBuffer;
 use std::sync::{Arc, Mutex};
 
@@ -45,6 +46,7 @@ pub struct LazySuiteCost {
     // a parallel race serialises board access (one board, one measurement
     // at a time) and never measures the same benchmark twice.
     hw: Mutex<Vec<Option<PerfCounters>>>,
+    telemetry: Telemetry,
 }
 
 impl LazySuiteCost {
@@ -83,7 +85,19 @@ impl LazySuiteCost {
             traces,
             uninit,
             hw: Mutex::new(slots),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: every evaluation journals an
+    /// `evaluation` event (workload, wall time, cost), every measurement
+    /// attempt a `measurement` event, and every classified failure a
+    /// `fault` event. The per-candidate simulators inherit the handle,
+    /// so `sim.*` metrics cover the tuning loop's simulation work. Costs
+    /// nothing when `telemetry` is disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> LazySuiteCost {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of benchmarks (the race's instance count).
@@ -121,24 +135,55 @@ impl LazySuiteCost {
         if let Some(c) = slots[instance] {
             return Ok(c);
         }
-        match self.board.measure_trace(
+        let sw = self.telemetry.stopwatch();
+        let outcome = self.board.measure_trace(
             &self.names[instance],
             &self.traces[instance],
             self.uninit[instance],
-        ) {
+        );
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(Event::Measurement {
+                workload: self.names[instance].clone(),
+                micros: sw.elapsed_us(),
+                ok: outcome.is_ok(),
+            });
+        }
+        match outcome {
             Ok(c) => {
                 slots[instance] = Some(c);
                 Ok(c)
             }
-            Err(e) if e.is_transient() => Err(EvalError::Transient(format!(
-                "measuring {}: {e}",
-                self.names[instance]
-            ))),
-            Err(e) => Err(EvalError::Instance(format!(
-                "measuring {}: {e}",
-                self.names[instance]
-            ))),
+            Err(e) if e.is_transient() => Err(self.fault(
+                instance,
+                "transient",
+                EvalError::Transient,
+                format!("measuring {}: {e}", self.names[instance]),
+            )),
+            Err(e) => Err(self.fault(
+                instance,
+                "instance",
+                EvalError::Instance,
+                format!("measuring {}: {e}", self.names[instance]),
+            )),
         }
+    }
+
+    /// Journals a classified failure and wraps it in its [`EvalError`].
+    fn fault(
+        &self,
+        instance: usize,
+        kind: &str,
+        wrap: fn(String) -> EvalError,
+        reason: String,
+    ) -> EvalError {
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(Event::Fault {
+                kind: kind.to_string(),
+                workload: self.names[instance].clone(),
+                reason: reason.clone(),
+            });
+        }
+        wrap(reason)
     }
 }
 
@@ -150,13 +195,20 @@ impl TryCostFn for LazySuiteCost {
         instance: usize,
     ) -> Result<f64, EvalError> {
         let hw = self.counters(instance)?;
+        let sw = self.telemetry.stopwatch();
         let platform = apply(space, cfg, &self.base);
-        let sim = Simulator::with_decoder(platform, self.decoder, SimOptions::default());
+        let sim = Simulator::with_decoder(platform, self.decoder, SimOptions::default())
+            .with_telemetry(self.telemetry.clone());
         let stats = sim.run(&self.traces[instance]).map_err(|e| {
-            EvalError::Config(format!(
-                "simulator rejected the configuration on {}: {e}",
-                self.names[instance]
-            ))
+            self.fault(
+                instance,
+                "config",
+                EvalError::Config,
+                format!(
+                    "simulator rejected the configuration on {}: {e}",
+                    self.names[instance]
+                ),
+            )
         })?;
         let cost = self.metric.evaluate(
             stats.cpi(),
@@ -165,12 +217,21 @@ impl TryCostFn for LazySuiteCost {
             hw.branch_mpki(),
         );
         if cost.is_finite() {
+            if self.telemetry.is_enabled() {
+                self.telemetry.emit(Event::Evaluation {
+                    workload: self.names[instance].clone(),
+                    micros: sw.elapsed_us(),
+                    cost,
+                });
+            }
             Ok(cost)
         } else {
-            Err(EvalError::Config(format!(
-                "non-finite cost on {}",
-                self.names[instance]
-            )))
+            Err(self.fault(
+                instance,
+                "config",
+                EvalError::Config,
+                format!("non-finite cost on {}", self.names[instance]),
+            ))
         }
     }
 }

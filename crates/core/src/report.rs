@@ -47,17 +47,25 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// terminal rendition of the paper's per-benchmark error figures.
 ///
 /// Values are scaled so the largest bar spans `width` characters; each
-/// line shows the numeric value with the given unit suffix.
+/// line shows the numeric value with the given unit suffix. Degenerate
+/// values render markers instead of garbage bars: non-finite values show
+/// a `(non-finite)` marker and are excluded from scaling, negative
+/// values clamp to an empty bar while still printing their value.
 pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
     let max = rows
         .iter()
         .map(|(_, v)| *v)
+        .filter(|v| v.is_finite())
         .fold(0.0f64, f64::max)
         .max(1e-12);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, v) in rows {
-        let n = ((v / max) * width as f64).round() as usize;
+        if !v.is_finite() {
+            let _ = writeln!(out, "{label:<label_w$} | (non-finite: {v})");
+            continue;
+        }
+        let n = ((v.max(0.0) / max) * width as f64).round() as usize;
         let _ = writeln!(
             out,
             "{label:<label_w$} |{} {v:.1}{unit}",
@@ -67,15 +75,15 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
     out
 }
 
-/// Writes rows as CSV (simple quoting: fields containing commas or quotes
-/// are double-quoted).
+/// Writes rows as CSV (simple quoting: fields containing commas, quotes
+/// or newlines are double-quoted).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     fn field(s: &str) -> String {
-        if s.contains(',') || s.contains('"') || s.contains('\n') {
+        if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
             format!("\"{}\"", s.replace('"', "\"\""))
         } else {
             s.to_string()
@@ -123,6 +131,46 @@ mod tests {
         assert!(lines[0].matches('#').count() == 20);
         assert!(lines[1].matches('#').count() == 10);
         assert!(lines[2].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn degenerate_bar_values_render_markers_not_garbage() {
+        let c = bar_chart(
+            &[
+                ("nan".into(), f64::NAN),
+                ("inf".into(), f64::INFINITY),
+                ("neg".into(), -4.0),
+                ("ok".into(), 8.0),
+            ],
+            20,
+            "%",
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].contains("(non-finite: NaN)"));
+        assert!(lines[1].contains("(non-finite: inf)"));
+        assert_eq!(lines[2].matches('#').count(), 0, "negative clamps to 0");
+        assert!(lines[2].contains("-4.0%"), "value still printed");
+        assert_eq!(
+            lines[3].matches('#').count(),
+            20,
+            "finite max ignores the non-finite rows"
+        );
+    }
+
+    #[test]
+    fn all_non_finite_chart_does_not_panic() {
+        let c = bar_chart(&[("a".into(), f64::NAN)], 10, "");
+        assert!(c.contains("non-finite"));
+    }
+
+    #[test]
+    fn csv_quotes_carriage_returns() {
+        let dir =
+            std::env::temp_dir().join(format!("racesim_report_cr_{}_test.csv", std::process::id()));
+        write_csv(&dir, &["note"], &[vec!["a\rb".into()]]).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"a\rb\""));
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

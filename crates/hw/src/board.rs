@@ -7,6 +7,7 @@ use racesim_decoder::Decoder;
 use racesim_kernels::{emu::EmuError, Workload};
 use racesim_mem::{IndexHash, PrefetchWhere, PrefetcherConfig, TagAccess, TlbConfig};
 use racesim_sim::{Platform, SimError, SimOptions, Simulator};
+use racesim_telemetry::{Counter, Histogram, Telemetry};
 use racesim_trace::TraceBuffer;
 use racesim_uarch::branch::{DirPredictorConfig, IndirectPredictorConfig};
 use std::collections::HashSet;
@@ -75,6 +76,26 @@ pub struct ReferenceBoard {
     name: String,
     hidden: Platform,
     effects: SystemEffects,
+    metrics: BoardMetrics,
+}
+
+/// Telemetry handles resolved once at attach time; dead (free) when the
+/// board has no telemetry.
+#[derive(Debug, Default)]
+struct BoardMetrics {
+    telemetry: Telemetry,
+    measurements: Counter,
+    measure_us: Histogram,
+}
+
+impl BoardMetrics {
+    fn new(telemetry: Telemetry) -> BoardMetrics {
+        BoardMetrics {
+            measurements: telemetry.counter("hw.measurements"),
+            measure_us: telemetry.histogram("hw.measure_us"),
+            telemetry,
+        }
+    }
 }
 
 /// The hidden "true" A53 silicon: every undisclosed parameter set to a
@@ -172,6 +193,7 @@ impl ReferenceBoard {
             name: "firefly-rk3399 cortex-a53 @1.51GHz".to_string(),
             hidden: hidden_a53(),
             effects: SystemEffects::little_cluster(),
+            metrics: BoardMetrics::default(),
         }
     }
 
@@ -182,12 +204,21 @@ impl ReferenceBoard {
             name: "firefly-rk3399 cortex-a72 @1.99GHz".to_string(),
             hidden: hidden_a72(),
             effects: SystemEffects::big_cluster(),
+            metrics: BoardMetrics::default(),
         }
     }
 
     /// A board with custom effects (differential testing).
     pub fn with_effects(mut self, effects: SystemEffects) -> ReferenceBoard {
         self.effects = effects;
+        self
+    }
+
+    /// Attaches a telemetry handle: every measurement records its wall
+    /// time in the `hw.measure_us` histogram and bumps
+    /// `hw.measurements`. Costs nothing when `telemetry` is disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ReferenceBoard {
+        self.metrics = BoardMetrics::new(telemetry);
         self
     }
 
@@ -225,6 +256,7 @@ impl HardwarePlatform for ReferenceBoard {
         trace: &TraceBuffer,
         uninit_data: bool,
     ) -> Result<PerfCounters, MeasureError> {
+        let sw = self.metrics.telemetry.stopwatch();
         // First-touch behaviour on uninitialised arrays: the kernel's
         // zero-fill leaves fresh pages cache-warm on real hardware (the
         // paper observed hits where the simulator reported misses), at the
@@ -249,6 +281,10 @@ impl HardwarePlatform for ReferenceBoard {
         }
         cycles = (cycles as f64 * self.effects.noise_factor(name)).round() as u64;
 
+        if self.metrics.telemetry.is_enabled() {
+            self.metrics.measurements.inc();
+            self.metrics.measure_us.record(sw.elapsed_us());
+        }
         Ok(PerfCounters {
             instructions: stats.core.instructions,
             cycles,

@@ -24,6 +24,7 @@
 use crate::counters::PerfCounters;
 use crate::{HardwarePlatform, MeasureError};
 use racesim_kernels::Workload;
+use racesim_telemetry::{Counter, Event, Telemetry};
 use racesim_trace::TraceBuffer;
 use std::collections::HashMap;
 use std::fmt;
@@ -110,6 +111,41 @@ pub struct FaultyBoard<B> {
     inner: B,
     plan: FaultPlan,
     attempts: Mutex<HashMap<String, u64>>,
+    metrics: FaultMetrics,
+}
+
+/// Per-pathology injection counters, resolved once at attach time, plus
+/// the journal handle for `fault` events.
+#[derive(Debug, Default)]
+struct FaultMetrics {
+    telemetry: Telemetry,
+    transient: Counter,
+    drop: Counter,
+    spike: Counter,
+    hang: Counter,
+}
+
+impl FaultMetrics {
+    fn new(telemetry: Telemetry) -> FaultMetrics {
+        FaultMetrics {
+            transient: telemetry.counter("hw.injected.transient"),
+            drop: telemetry.counter("hw.injected.drop"),
+            spike: telemetry.counter("hw.injected.spike"),
+            hang: telemetry.counter("hw.injected.hang"),
+            telemetry,
+        }
+    }
+
+    fn record(&self, counter: &Counter, kind: &str, workload: &str, reason: String) {
+        if self.telemetry.is_enabled() {
+            counter.inc();
+            self.telemetry.emit(Event::Fault {
+                kind: kind.to_string(),
+                workload: workload.to_string(),
+                reason,
+            });
+        }
+    }
 }
 
 impl<B: fmt::Debug> fmt::Debug for FaultyBoard<B> {
@@ -128,7 +164,16 @@ impl<B> FaultyBoard<B> {
             inner,
             plan,
             attempts: Mutex::new(HashMap::new()),
+            metrics: FaultMetrics::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: every injected pathology bumps its
+    /// `hw.injected.*` counter and journals a `fault` event. Costs
+    /// nothing when `telemetry` is disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> FaultyBoard<B> {
+        self.metrics = FaultMetrics::new(telemetry);
+        self
     }
 
     /// The fault plan in force.
@@ -171,26 +216,50 @@ impl<B: HardwarePlatform> HardwarePlatform for FaultyBoard<B> {
     ) -> Result<PerfCounters, MeasureError> {
         let attempt = self.bump(name);
         if self.plan.hang_rate > 0.0 && self.plan.roll(b'h', name, attempt) < self.plan.hang_rate {
+            self.metrics.record(
+                &self.metrics.hang,
+                "injected-hang",
+                name,
+                format!(
+                    "injected {}ms hang (attempt {attempt})",
+                    self.plan.hang.as_millis()
+                ),
+            );
             std::thread::sleep(self.plan.hang);
         }
         // Drops are per-name (attempt-independent): the board can never
         // measure this workload, so retries must not clear the fault.
         if self.plan.drop_rate > 0.0 && self.plan.roll(b'd', name, 0) < self.plan.drop_rate {
-            return Err(MeasureError::Dropped(format!(
-                "counters for {name} never arrived"
-            )));
+            let reason = format!("counters for {name} never arrived");
+            self.metrics
+                .record(&self.metrics.drop, "injected-drop", name, reason.clone());
+            return Err(MeasureError::Dropped(reason));
         }
         if self.plan.transient_rate > 0.0
             && self.plan.roll(b't', name, attempt) < self.plan.transient_rate
         {
-            return Err(MeasureError::Transient(format!(
-                "injected transient fault on {name} (attempt {attempt})"
-            )));
+            let reason = format!("injected transient fault on {name} (attempt {attempt})");
+            self.metrics.record(
+                &self.metrics.transient,
+                "injected-transient",
+                name,
+                reason.clone(),
+            );
+            return Err(MeasureError::Transient(reason));
         }
         let mut counters = self.inner.measure_trace(name, trace, uninit_data)?;
         if self.plan.spike_rate > 0.0 && self.plan.roll(b's', name, attempt) < self.plan.spike_rate
         {
             counters.cycles = (counters.cycles as f64 * self.plan.spike_magnitude) as u64;
+            self.metrics.record(
+                &self.metrics.spike,
+                "injected-spike",
+                name,
+                format!(
+                    "injected {}x cycle spike (attempt {attempt})",
+                    self.plan.spike_magnitude
+                ),
+            );
         }
         Ok(counters)
     }

@@ -88,6 +88,8 @@ impl Tuner for RandomSearch {
             failed_configs: 0,
             retries: 0,
             aborted: false,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
             warnings: Vec::new(),
         }
     }
@@ -165,6 +167,8 @@ impl Tuner for GridSearch {
             failed_configs: 0,
             retries: 0,
             aborted: false,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
             warnings: Vec::new(),
         }
     }

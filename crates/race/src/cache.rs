@@ -3,15 +3,22 @@
 use crate::param::Configuration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A thread-safe memo of `(configuration, instance) → cost`.
 ///
 /// Elite configurations survive across iterations and are re-raced; the
 /// cache keeps the (deterministic) simulator from re-running them and the
-/// budget accounting from double-charging them.
+/// budget accounting from double-charging them. Hit/miss counters track
+/// how much work memoisation actually saved — [`CostCache::get`] counts,
+/// [`CostCache::peek`] does not, so sites that re-read a value already
+/// accounted for (the post-evaluation row fill in the race) don't inflate
+/// the hit rate.
 #[derive(Debug, Default)]
 pub struct CostCache {
     map: Mutex<HashMap<(Configuration, usize), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl CostCache {
@@ -20,14 +27,34 @@ impl CostCache {
         CostCache::default()
     }
 
-    /// Looks up a memoised cost.
+    /// Looks up a memoised cost, counting the outcome as a hit or miss.
     pub fn get(&self, cfg: &Configuration, instance: usize) -> Option<f64> {
+        let found = self.map.lock().get(&(cfg.clone(), instance)).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Looks up a memoised cost without touching the hit/miss counters.
+    pub fn peek(&self, cfg: &Configuration, instance: usize) -> Option<f64> {
         self.map.lock().get(&(cfg.clone(), instance)).copied()
     }
 
     /// Stores a cost.
     pub fn put(&self, cfg: &Configuration, instance: usize, cost: f64) {
         self.map.lock().insert((cfg.clone(), instance), cost);
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Every memoised evaluation, sorted by (configuration, instance) so
@@ -72,5 +99,22 @@ mod tests {
         assert_eq!(cache.get(&c, 0), Some(1.5));
         assert_eq!(cache.get(&c, 1), None);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_get_but_not_peek() {
+        let mut s = ParamSpace::new();
+        s.add_bool("x");
+        let c = s.default_configuration();
+        let cache = CostCache::new();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        cache.get(&c, 0); // miss
+        cache.put(&c, 0, 1.0);
+        cache.get(&c, 0); // hit
+        cache.get(&c, 1); // miss
+        cache.peek(&c, 0); // uncounted
+        cache.peek(&c, 1); // uncounted
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
     }
 }

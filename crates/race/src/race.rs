@@ -353,9 +353,11 @@ pub fn race(
         blocks_used += 1;
         for (i, row) in costs.iter_mut().enumerate() {
             if alive[i] {
+                // `peek`, not `get`: this re-read was already accounted
+                // for by the pre-evaluation lookup above.
                 row.push(
                     ctx.cache
-                        .get(&configs[i], inst)
+                        .peek(&configs[i], inst)
                         .expect("alive configs evaluated or cached above"),
                 );
             }

@@ -6,6 +6,7 @@ use crate::error::{EvalError, Quarantine};
 use crate::model::SamplingModel;
 use crate::param::{Configuration, ParamSpace};
 use crate::race::{race, RaceContext, RaceLogEntry, RaceSettings};
+use racesim_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -170,9 +171,26 @@ pub struct TuneResult {
     pub retries: u64,
     /// True when the run was cancelled before its schedule completed.
     pub aborted: bool,
+    /// Cost-cache lookups answered from the cache (evaluations avoided).
+    pub cache_hits: u64,
+    /// Cost-cache lookups that required a fresh evaluation.
+    pub cache_misses: u64,
     /// Non-fatal conditions worth surfacing (checkpoint I/O problems,
     /// ignored resume files).
     pub warnings: Vec<String>,
+}
+
+impl TuneResult {
+    /// Fraction of cost-cache lookups answered from the cache, or 0.0
+    /// when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A predicate that rejects statically unrealisable configurations before
@@ -197,6 +215,7 @@ pub struct RacingTuner {
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     cancel: Option<Arc<AtomicBool>>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for RacingTuner {
@@ -206,6 +225,7 @@ impl std::fmt::Debug for RacingTuner {
             .field("pruner", &self.pruner.as_ref().map(|_| "<fn>"))
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume)
+            .field("telemetry", &self.telemetry)
             .finish_non_exhaustive()
     }
 }
@@ -219,6 +239,7 @@ impl RacingTuner {
             checkpoint: None,
             resume: None,
             cancel: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -251,6 +272,14 @@ impl RacingTuner {
     /// last checkpoint replays it exactly.
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> RacingTuner {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a telemetry handle: campaign/iteration/elimination events
+    /// go to its journal and tuner counters to its metrics registry. The
+    /// default handle is disabled, which costs nothing.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> RacingTuner {
+        self.telemetry = telemetry;
         self
     }
 
@@ -296,6 +325,24 @@ impl RacingTuner {
         let mut failed_total = 0u64;
         let mut first_iter = 0usize;
 
+        let tel = &self.telemetry;
+        let campaign_sw = tel.stopwatch();
+        tel.emit(Event::CampaignStart {
+            seed: st.seed,
+            budget: st.budget as usize,
+            n_instances,
+            n_params: space.len(),
+        });
+        let m_iterations = tel.counter("tuner.iterations");
+        let m_evals = tel.counter("tuner.evals");
+        let m_retries = tel.counter("tuner.retries");
+        let m_failed = tel.counter("tuner.failed_configs");
+        let m_eliminations = tel.counter("tuner.eliminations");
+        let m_quarantined = tel.counter("tuner.quarantined");
+        let m_pruned = tel.counter("tuner.pruned");
+        let g_budget = tel.gauge("tuner.budget_remaining");
+        let h_iter_us = tel.histogram("tuner.iteration_us");
+
         if let Some(path) = &self.resume {
             match TunerCheckpoint::read(path, space) {
                 Ok(cp) => match cp.validate(space, st, n_instances) {
@@ -316,6 +363,10 @@ impl RacingTuner {
                         for (cfg, inst, c) in cp.cache {
                             cache.put(&cfg, inst, c);
                         }
+                        tel.emit(Event::Resume {
+                            next_iteration: first_iter,
+                            budget_remaining: budget as usize,
+                        });
                     }
                     Err(e) => warnings.push(format!("ignoring checkpoint {}: {e}", path.display())),
                 },
@@ -329,6 +380,7 @@ impl RacingTuner {
             }
         }
 
+        g_budget.set(budget);
         let started = std::time::Instant::now();
         let mut aborted = false;
 
@@ -350,6 +402,7 @@ impl RacingTuner {
                     break;
                 }
             }
+            let iter_sw = tel.stopwatch();
             // Budget share for this iteration.
             let iter_budget = budget / (n_iters - iter) as u64;
             // Number of configurations: enough that the race can afford
@@ -378,6 +431,7 @@ impl RacingTuner {
                 if let Some(p) = &self.pruner {
                     if p(&c).is_some() {
                         pruned_total += 1;
+                        m_pruned.inc();
                         continue;
                     }
                 }
@@ -395,6 +449,10 @@ impl RacingTuner {
                 model.spread = (model.spread * 3.0).min(1.0);
             }
 
+            tel.emit(Event::IterationStart {
+                iteration: iter,
+                configs: configs.len(),
+            });
             // Race over a freshly shuffled instance order.
             let mut order: Vec<usize> = (0..n_instances).collect();
             order.shuffle(&mut rng);
@@ -432,6 +490,36 @@ impl RacingTuner {
                 .filter(|e| matches!(e, RaceLogEntry::Failed { .. }))
                 .count() as u64;
 
+            m_iterations.inc();
+            m_evals.add(result.evals_used);
+            m_retries.add(result.retries);
+            g_budget.set(budget);
+            for entry in &result.log {
+                let (kind, reason) = match entry {
+                    RaceLogEntry::Eliminated { .. } => {
+                        m_eliminations.inc();
+                        ("statistical", String::new())
+                    }
+                    RaceLogEntry::Failed { reason, .. } => {
+                        m_failed.inc();
+                        ("failed", reason.clone())
+                    }
+                };
+                tel.emit(Event::Elimination {
+                    config: configs[entry.config()].render(space),
+                    kind: kind.to_string(),
+                    after_blocks: entry.after_blocks(),
+                    reason,
+                });
+            }
+            for (inst, reason) in &result.quarantined {
+                m_quarantined.inc();
+                tel.emit(Event::Quarantine {
+                    instance: format!("instance {inst}"),
+                    reason: reason.clone(),
+                });
+            }
+
             // New elite set. A race in which every configuration failed
             // leaves no survivors; the model then resamples from scratch
             // next iteration.
@@ -444,6 +532,17 @@ impl RacingTuner {
                 .collect();
             let elite_refs: Vec<&Configuration> = elites.iter().map(|(c, _)| c).collect();
             model.update(space, &elite_refs, 0.5);
+
+            let iter_us = iter_sw.elapsed_us();
+            h_iter_us.record(iter_us);
+            tel.emit(Event::IterationEnd {
+                iteration: iter,
+                survivors: result.survivors.len(),
+                best_cost: elites.first().map(|(_, c)| *c).unwrap_or(f64::NAN),
+                evals: result.evals_used as usize,
+                blocks: result.blocks_used,
+                micros: iter_us,
+            });
 
             history.push(IterationSummary {
                 iteration: iter,
@@ -478,6 +577,11 @@ impl RacingTuner {
                         "failed to write checkpoint {}: {e}",
                         path.display()
                     ));
+                } else {
+                    tel.emit(Event::Checkpoint {
+                        iteration: iter,
+                        path: path.display().to_string(),
+                    });
                 }
             }
         }
@@ -486,6 +590,18 @@ impl RacingTuner {
             .first()
             .cloned()
             .unwrap_or_else(|| (space.default_configuration(), f64::NAN));
+        tel.counter("cache.hits").add(cache.hits());
+        tel.counter("cache.misses").add(cache.misses());
+        tel.emit(Event::CampaignEnd {
+            best_cost,
+            evals: evals_total as usize,
+            retries: retries_total as usize,
+            failed_configs: failed_total as usize,
+            pruned: pruned_total as usize,
+            aborted,
+            micros: campaign_sw.elapsed_us(),
+        });
+        tel.emit_metrics();
         TuneResult {
             best,
             best_cost,
@@ -497,6 +613,8 @@ impl RacingTuner {
             failed_configs: failed_total,
             retries: retries_total,
             aborted,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
             warnings,
         }
     }

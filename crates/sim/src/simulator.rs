@@ -4,6 +4,7 @@ use crate::platform::Platform;
 use racesim_decoder::{DecodeError, Decoder};
 use racesim_isa::{DynInst, EncodedInst, StaticInst};
 use racesim_mem::{HierarchyStats, MemoryHierarchy};
+use racesim_telemetry::{Counter, Histogram, Telemetry};
 use racesim_trace::{TraceBuffer, TraceRecord};
 use racesim_uarch::{CoreConfig, CoreKind, CoreModel, CoreStats, InOrderCore, OooCore};
 use std::collections::HashMap;
@@ -91,6 +92,34 @@ pub struct Simulator {
     platform: Platform,
     decoder: Decoder,
     options: SimOptions,
+    metrics: SimMetrics,
+}
+
+/// Telemetry handles resolved once at attach time, so each run pays only
+/// the atomic updates (or nothing, when telemetry is disabled).
+#[derive(Debug, Clone, Default)]
+struct SimMetrics {
+    telemetry: Telemetry,
+    runs: Counter,
+    instructions: Counter,
+    cycles: Counter,
+    run_us: Histogram,
+    /// Simulation throughput per evaluation, in simulated instructions
+    /// per wall-clock millisecond.
+    inst_per_ms: Histogram,
+}
+
+impl SimMetrics {
+    fn new(telemetry: Telemetry) -> SimMetrics {
+        SimMetrics {
+            runs: telemetry.counter("sim.runs"),
+            instructions: telemetry.counter("sim.instructions"),
+            cycles: telemetry.counter("sim.cycles"),
+            run_us: telemetry.histogram("sim.run_us"),
+            inst_per_ms: telemetry.histogram("sim.inst_per_ms"),
+            telemetry,
+        }
+    }
 }
 
 impl Simulator {
@@ -100,6 +129,7 @@ impl Simulator {
             platform,
             decoder: Decoder::new(),
             options: SimOptions::default(),
+            metrics: SimMetrics::default(),
         }
     }
 
@@ -110,7 +140,16 @@ impl Simulator {
             platform,
             decoder,
             options,
+            metrics: SimMetrics::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: every run records instruction/cycle
+    /// counts, wall time, and throughput. Costs nothing when `telemetry`
+    /// is disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Simulator {
+        self.metrics = SimMetrics::new(telemetry);
+        self
     }
 
     /// The platform being simulated.
@@ -135,6 +174,7 @@ impl Simulator {
     /// Returns [`SimError::Decode`] if the trace contains an undecodable
     /// word.
     pub fn run_records(&self, records: &[TraceRecord]) -> Result<SimStats, SimError> {
+        let sw = self.metrics.telemetry.stopwatch();
         let mut core = build_core(&self.platform.core);
         let mut mem = MemoryHierarchy::new(&self.platform.mem);
         let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
@@ -176,10 +216,21 @@ impl Simulator {
             core.consume(&dyn_inst, &mut mem);
         }
         core.finish(&mut mem);
-        Ok(SimStats {
+        let stats = SimStats {
             core: core.stats(),
             mem: mem.stats(),
-        })
+        };
+        if self.metrics.telemetry.is_enabled() {
+            let us = sw.elapsed_us();
+            self.metrics.runs.inc();
+            self.metrics.instructions.add(stats.core.instructions);
+            self.metrics.cycles.add(stats.core.cycles);
+            self.metrics.run_us.record(us);
+            self.metrics
+                .inst_per_ms
+                .record(stats.core.instructions * 1000 / us.max(1));
+        }
+        Ok(stats)
     }
 }
 

@@ -1,0 +1,340 @@
+//! Lock-free metric primitives: counters, gauges and log-bucketed
+//! histograms, all backed by atomics and shared via `Arc`.
+//!
+//! Handles are resolved once — a [`Counter`] is either a live
+//! `Arc<AtomicU64>` or `None` — so an instrumented hot path pays a single
+//! relaxed atomic op when telemetry is on and a branch on a `None` when it
+//! is off. Nothing allocates after registration.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic; a disabled handle (from [`crate::Telemetry::disabled`]) is a
+/// no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge. Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: `floor(log2(v))` for `v` in `[1, u64::MAX]`.
+const BUCKETS: usize = 64;
+
+/// Shared histogram storage: one bucket per power of two plus running
+/// count / sum / max, all atomics.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> HistCore {
+        HistCore {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        // Bucket k holds values in [2^k, 2^(k+1)); 0 lands in bucket 0.
+        let idx = 63 - v.max(1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (k, &n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of bucket k, clamped by the true max.
+                    let hi = if k >= 63 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (k + 1)) - 1
+                    };
+                    return hi.min(max);
+                }
+            }
+            max
+        };
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically microseconds).
+/// Percentiles are bucket upper bounds — at most 2x off, which is plenty
+/// for latency triage — clamped by the exact observed maximum.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCore>>);
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Current aggregate view (all zeros for a disabled handle).
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistSnapshot::default, |h| h.snapshot())
+    }
+}
+
+/// Point-in-time aggregates of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// 50th percentile (bucket upper bound, clamped by `max`).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound, clamped by `max`).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound, clamped by `max`).
+    pub p99: u64,
+}
+
+impl HistSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Name → metric maps. BTreeMaps so snapshots iterate in a stable order.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCore>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Arc<HistCore> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistCore::new())),
+        )
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, in name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram name → aggregates.
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_do_nothing() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(42);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::default();
+        h.record(1000);
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+    }
+
+    #[test]
+    fn registry_shares_by_name() {
+        let r = Registry::default();
+        let a = Counter(Some(r.counter("x")));
+        let b = Counter(Some(r.counter("x")));
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(r.snapshot().counter("x"), Some(7));
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("lat")));
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        // p50 of 1..=1000 is 500; its bucket [256,512) caps at 511.
+        assert!((500..=1023).contains(&s.p50), "p50={}", s.p50);
+        assert!((900..=1023).contains(&s.p90), "p90={}", s.p90);
+        assert!(s.p99 >= s.p90 && s.p90 >= s.p50);
+        assert!(s.p99 <= s.max.max(1023));
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_samples() {
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("edge")));
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::default();
+        r.counter("zeta");
+        r.counter("alpha");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

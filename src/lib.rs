@@ -28,6 +28,9 @@
 //!   configuration plus system effects no user model captures;
 //! * [`stats`]/[`race`] — Friedman/Wilcoxon/t statistics and the iterated
 //!   racing tuner with random/grid baselines;
+//! * [`telemetry`] — low-overhead metrics (atomic counters, gauges,
+//!   log-bucketed histograms) and the structured JSONL campaign journal
+//!   behind `racesim tune --telemetry` / `racesim report`;
 //! * [`core`] — the methodology itself: latency estimation, the ~60
 //!   undisclosed-parameter schema, racing orchestration, per-component
 //!   error analysis and the close-to-optimum perturbation study.
@@ -59,6 +62,7 @@ pub use racesim_mem as mem;
 pub use racesim_race as race;
 pub use racesim_sim as sim;
 pub use racesim_stats as stats;
+pub use racesim_telemetry as telemetry;
 pub use racesim_trace as trace;
 pub use racesim_uarch as uarch;
 
