@@ -4,7 +4,8 @@
 //! Lint codes are **stable**: once shipped, a code keeps its meaning
 //! forever so downstream tooling can filter on it. Codes are grouped by
 //! pass: `RA0xx` parameter space, `RA1xx` platform invariants, `RA2xx`
-//! kernel static analysis, `RA3xx` measurement effects.
+//! kernel static analysis, `RA3xx` measurement effects, `RA4xx` kernel IR
+//! and campaign coverage, `RA5xx` determinism audit.
 
 use std::fmt;
 
@@ -137,6 +138,47 @@ lints! {
     /// difference the race's statistical tests can resolve at their
     /// significance level: eliminations degrade into coin flips.
     NoiseAboveResolution = ("RA301", "noise-above-resolution", Warn),
+
+    // ---- RA4xx: kernel IR and campaign coverage ---------------------
+    /// A register written and then overwritten with no read on any path:
+    /// architecturally dead work the kernel spends cycles on.
+    KernelDeadWrite = ("RA401", "kernel-dead-write", Warn),
+    /// A counted loop whose statically resolved trip count is zero or
+    /// one: the "loop" exercises no steady-state behaviour.
+    KernelDegenerateLoop = ("RA402", "kernel-degenerate-loop", Warn),
+    /// A loop with no exit edge: once entered the kernel can only be
+    /// stopped by the instruction limit.
+    KernelNoExitLoop = ("RA403", "kernel-no-exit-loop", Error),
+    /// A tuned parameter that no kernel in the campaign suite can
+    /// statically observe, although the model reads it: the whole suite
+    /// races over noise for this dimension (RA008 lifted from one
+    /// configuration to the campaign).
+    SuiteDeadParameter = ("RA410", "suite-dead-parameter", Warn),
+    /// A tuned parameter observable by very few kernels: its posterior
+    /// rests on one or two measurements.
+    SuiteNarrowParameter = ("RA411", "suite-narrow-parameter", Info),
+    /// A kernel whose static observability signature is covered by
+    /// another kernel's: it exercises no parameter uniquely.
+    SuiteRedundantKernel = ("RA412", "suite-redundant-kernel", Info),
+
+    // ---- RA5xx: determinism audit -----------------------------------
+    /// A tuner checkpoint failed to round-trip byte-identically through
+    /// render -> parse -> render (adversarial float bit patterns).
+    CheckpointRoundtripDrift = ("RA501", "checkpoint-roundtrip-drift", Error),
+    /// Two tuner runs with the same seed diverged: the resume guarantee
+    /// and any reproducibility claim are void.
+    ReplayDivergence = ("RA502", "replay-divergence", Error),
+    /// A multi-threaded tuner run diverged from the single-threaded run
+    /// with the same seed: parallel racing is not order-independent.
+    ThreadDivergence = ("RA503", "thread-divergence", Error),
+    /// Two independent constructions of the parameter space produced
+    /// different fingerprints or iteration orders: checkpoints written by
+    /// one process would be rejected (or silently misapplied) by another.
+    SpaceOrderInstability = ("RA504", "space-order-instability", Error),
+    /// The cost aggregation is float-reduction-order sensitive: any
+    /// future change that reorders evaluations (work stealing, async
+    /// collection) would silently change results.
+    FloatReductionOrder = ("RA505", "float-reduction-order", Info),
 }
 
 /// One finding: a lint instance attached to a concrete offender.
@@ -293,6 +335,14 @@ impl Report {
     /// Context keys keep their insertion order; call [`Report::sort`]
     /// first for run-to-run stable diagnostic order.
     pub fn render_json(&self) -> String {
+        self.render_json_with(&[])
+    }
+
+    /// Like [`Report::render_json`], but appends extra top-level sections
+    /// after `"diagnostics"`. Each `(key, value)` pair becomes
+    /// `"key":value`, with `value` pre-rendered JSON (the `--suite` path
+    /// uses this to embed the parameter-coverage matrix).
+    pub fn render_json_with(&self, sections: &[(&str, String)]) -> String {
         let mut out = String::from("{\"version\":1,\"summary\":{");
         out.push_str(&format!(
             "\"error\":{},\"warn\":{},\"info\":{}}},\"diagnostics\":[",
@@ -319,13 +369,18 @@ impl Report {
             }
             out.push_str("}}");
         }
-        out.push_str("]}");
+        out.push(']');
+        for (key, value) in sections {
+            out.push_str(&format!(",{}:{value}", json_string(key)));
+        }
+        out.push('}');
         out
     }
 }
 
-/// Escapes a string per RFC 8259.
-fn json_string(s: &str) -> String {
+/// Escapes a string per RFC 8259 (shared by the report and the coverage
+/// matrix rendering).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -24,7 +24,7 @@
 //! reports only loads it can prove target a never-initialised region.
 
 use crate::diag::{Diagnostic, Lint};
-use racesim_decoder::Decoder;
+use crate::ir::Flow;
 use racesim_isa::{Opcode, Program, Reg, INST_BYTES};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -69,13 +69,11 @@ type State = Box<[AbsVal]>;
 
 struct Analysis<'a> {
     prog: &'a Program,
-    /// Decoded opcode per instruction (`None` if the word is undecodable).
-    ops: Vec<Option<Opcode>>,
+    /// Shared decoded-instruction + successor view (also used by the
+    /// CFG builder in [`crate::ir`], so reachability verdicts agree).
+    flow: Flow<'a>,
     /// Entry state per instruction (`None` = not reached yet).
     states: Vec<Option<State>>,
-    /// Code indices a `br`/`blr` may jump to (pointer tables and patched
-    /// `movz` address loads).
-    indirect_targets: Vec<usize>,
 }
 
 fn reg_val(state: &State, bits: u8) -> AbsVal {
@@ -95,87 +93,18 @@ fn set_reg(state: &mut State, bits: u8, v: AbsVal) {
 
 impl<'a> Analysis<'a> {
     fn new(prog: &'a Program) -> Analysis<'a> {
-        let dec = Decoder::new();
-        let ops = prog
-            .code
-            .iter()
-            .map(|w| dec.decode(*w).ok().map(|s| s.opcode))
-            .collect();
-        let mut a = Analysis {
+        Analysis {
             prog,
-            ops,
+            flow: Flow::new(prog),
             states: vec![None; prog.code.len()],
-            indirect_targets: Vec::new(),
-        };
-        a.collect_indirect_targets();
-        a
-    }
-
-    /// Candidate targets for indirect branches: code addresses stored in
-    /// data blobs (jump/function-pointer tables) and `movz` immediates
-    /// that name a code address (patched `load_label_addr`).
-    fn collect_indirect_targets(&mut self) {
-        let mut targets = BTreeSet::new();
-        for (_, bytes) in &self.prog.data {
-            for chunk in bytes.chunks_exact(8) {
-                let word = u64::from_le_bytes(chunk.try_into().unwrap());
-                if let Some(idx) = self.prog.index_of(word) {
-                    targets.insert(idx);
-                }
-            }
         }
-        for (i, op) in self.ops.iter().enumerate() {
-            if *op == Some(Opcode::Movz) {
-                let imm = self.prog.code[i].imm();
-                if imm > 0 {
-                    if let Some(idx) = self.prog.index_of(imm as u64) {
-                        targets.insert(idx);
-                    }
-                }
-            }
-        }
-        self.indirect_targets = targets.into_iter().collect();
-    }
-
-    /// Resolved direct-branch target, if the opcode is a direct branch.
-    fn direct_target(&self, idx: usize) -> Option<i64> {
-        match self.ops[idx] {
-            Some(Opcode::B | Opcode::Bcond | Opcode::Cbz | Opcode::Cbnz | Opcode::Bl) => {
-                Some(idx as i64 + self.prog.code[idx].imm())
-            }
-            _ => None,
-        }
-    }
-
-    /// Static successors of instruction `idx`, clipped to the code range.
-    fn successors(&self, idx: usize) -> Vec<usize> {
-        let n = self.prog.code.len();
-        let mut succ = Vec::with_capacity(2);
-        let push = |i: i64, v: &mut Vec<usize>| {
-            if i >= 0 && (i as usize) < n {
-                v.push(i as usize);
-            }
-        };
-        match self.ops[idx] {
-            Some(Opcode::Halt) | Some(Opcode::Ret) => {}
-            Some(Opcode::B) => push(self.direct_target(idx).unwrap(), &mut succ),
-            Some(Opcode::Bcond | Opcode::Cbz | Opcode::Cbnz | Opcode::Bl) => {
-                push(self.direct_target(idx).unwrap(), &mut succ);
-                push(idx as i64 + 1, &mut succ);
-            }
-            Some(Opcode::Br) => succ.extend(self.indirect_targets.iter().copied()),
-            Some(Opcode::Blr) => {
-                succ.extend(self.indirect_targets.iter().copied());
-                push(idx as i64 + 1, &mut succ);
-            }
-            _ => push(idx as i64 + 1, &mut succ),
-        }
-        succ
     }
 
     /// Applies instruction `idx` to `state`.
     fn transfer(&self, idx: usize, state: &mut State) {
-        let Some(op) = self.ops[idx] else { return };
+        let Some(op) = self.flow.opcode(idx) else {
+            return;
+        };
         let w = self.prog.code[idx];
         let (rd, rn, rm, imm) = (w.rd_bits(), w.rn_bits(), w.rm_bits(), w.imm());
         let prog = self.prog;
@@ -326,7 +255,7 @@ impl<'a> Analysis<'a> {
             queued[idx] = false;
             let mut out = self.states[idx].clone().expect("queued without state");
             self.transfer(idx, &mut out);
-            for succ in self.successors(idx) {
+            for succ in self.flow.successors(idx) {
                 let changed = match &mut self.states[succ] {
                     Some(existing) => {
                         let mut any = false;
@@ -367,7 +296,7 @@ pub fn check_into(prog: &Program, out: &mut Vec<Diagnostic>) {
     // Branch-target range (direct branches only; the assembler patches
     // offsets, so a violation means a corrupted or hand-built program).
     for idx in 0..prog.code.len() {
-        if let Some(t) = a.direct_target(idx) {
+        if let Some(t) = a.flow.direct_target(idx) {
             if t < 0 || t as usize >= prog.code.len() {
                 out.push(
                     Diagnostic::new(
@@ -411,7 +340,7 @@ pub fn check_into(prog: &Program, out: &mut Vec<Diagnostic>) {
     // counts as initialising it (region granularity).
     let mut stored: BTreeSet<usize> = BTreeSet::new();
     for idx in 0..prog.code.len() {
-        if a.ops[idx] == Some(Opcode::Str) {
+        if a.flow.opcode(idx) == Some(Opcode::Str) {
             if let Some(state) = &a.states[idx] {
                 if let Some(r) = a.ea_region(idx, state) {
                     stored.insert(r);
@@ -421,7 +350,7 @@ pub fn check_into(prog: &Program, out: &mut Vec<Diagnostic>) {
     }
     let mut uninit_loads: BTreeMap<usize, (u64, usize)> = BTreeMap::new();
     for idx in 0..prog.code.len() {
-        if a.ops[idx] == Some(Opcode::Ldr) {
+        if a.flow.opcode(idx) == Some(Opcode::Ldr) {
             if let Some(state) = &a.states[idx] {
                 if let Some(r) = a.ea_region(idx, state) {
                     if !prog.reserved[r].initialized && !stored.contains(&r) {

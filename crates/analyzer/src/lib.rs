@@ -8,7 +8,7 @@
 //! parameter into a low-error configuration. This crate catches
 //! specification bugs statically, before any simulation runs.
 //!
-//! Three passes, one shared diagnostics engine:
+//! The pass families, one shared diagnostics engine:
 //!
 //! * [`param`] — lints a [`racesim_race::ParamSpace`] (degenerate
 //!   dimensions, duplicated candidates, cross-parameter invariants over
@@ -18,6 +18,16 @@
 //! * [`kernel`] — abstract interpretation over decoded programs: reads of
 //!   never-written reserved memory, unreachable blocks, branches that
 //!   leave the program.
+//! * [`ir`] — static CFG/dataflow IR per kernel (RA4xx): dead register
+//!   writes, degenerate and inescapable loops, static trip counts, and
+//!   the [`ir::KernelProfile`] the coverage matrix is built from.
+//! * [`coverage`] — the campaign-level parameter-coverage matrix
+//!   (RA41x): which kernels can statically observe each `ParamSpace`
+//!   dimension, which dimensions no kernel observes, and which kernels
+//!   observe nothing uniquely.
+//! * [`determinism`] — audits the invariants resume and parallel racing
+//!   depend on (RA5xx): checkpoint byte-stability, replay and thread
+//!   determinism, space construction order, float reduction order.
 //! * [`effects`] — checks a board's measurement noise against the race's
 //!   statistical resolution (can the significance tests distinguish
 //!   near-elite configurations at all?).
@@ -25,8 +35,11 @@
 //! All passes emit [`Diagnostic`]s with stable `RA...` codes; see
 //! `DESIGN.md` for the full table.
 
+pub mod coverage;
+pub mod determinism;
 pub mod diag;
 pub mod effects;
+pub mod ir;
 pub mod kernel;
 pub mod param;
 pub mod platform;

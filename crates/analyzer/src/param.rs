@@ -209,7 +209,7 @@ pub fn check_model(
         if live[i] {
             continue;
         }
-        if !activates_anywhere(space, &default_anchor, i, apply, &mut touched) {
+        if !parameter_is_live(space, &default_anchor, i, apply, &mut touched) {
             out.push(
                 Diagnostic::new(
                     Lint::DeadParameter,
@@ -299,12 +299,43 @@ fn candidate_labels(domain: &Domain) -> Vec<String> {
     }
 }
 
-fn candidate_value(domain: &Domain, j: usize) -> Value {
+pub(crate) fn candidate_value(domain: &Domain, j: usize) -> Value {
     match domain {
         Domain::Categorical(_) => Value::Cat(j as u16),
         Domain::Integer(_) => Value::Int(j as u16),
         Domain::Bool => Value::Flag(j == 1),
     }
+}
+
+/// Whether parameter `i` can change the platform at all: a direct sweep
+/// away from `anchor`, or a sweep after any single-parameter activation
+/// (e.g. `pf.table` only matters once `pf.kind` selects a table-based
+/// prefetcher). Any platform Debug paths it reaches are added to
+/// `touched`.
+///
+/// This is the one dead-parameter predicate: the per-config RA008 pass
+/// and the suite-level RA410 coverage pass both call it, so their notion
+/// of "the model can see this parameter" cannot drift apart.
+pub fn parameter_is_live(
+    space: &ParamSpace,
+    anchor: &Configuration,
+    i: usize,
+    apply: &dyn Fn(&Configuration) -> Platform,
+    touched: &mut BTreeSet<String>,
+) -> bool {
+    let base = apply(anchor);
+    let base_flat = flatten_debug(&format!("{base:#?}"));
+    let mut found = false;
+    for j in 0..space.params()[i].domain.cardinality() {
+        let mut cfg = anchor.clone();
+        cfg.set_value(i, candidate_value(&space.params()[i].domain, j));
+        let probed = apply(&cfg);
+        if probed != base {
+            diff_paths(&base_flat, &flatten_debug(&format!("{probed:#?}")), touched);
+            found = true;
+        }
+    }
+    found || activates_anywhere(space, anchor, i, apply, touched)
 }
 
 /// Whether parameter `i` changes the platform under some single-parameter

@@ -69,6 +69,67 @@ fn json_rendering_matches_golden() {
     check_golden("report.json", &sample_report().render_json());
 }
 
+/// A report exercising the `--suite` additions: RA4xx/RA5xx codes and an
+/// appended `coverage` section rendered through `render_json_with`.
+fn sample_suite_report() -> (Report, String) {
+    let mut r = Report::new();
+    r.push(
+        Diagnostic::new(
+            Lint::KernelDeadWrite,
+            "register write is overwritten before any read on every path",
+        )
+        .with("kernel", "deepsjeng")
+        .with("pc", "0x10a4")
+        .with("opcode", "Add")
+        .with("regs", "x3"),
+    );
+    r.push(
+        Diagnostic::new(Lint::KernelNoExitLoop, "loop has no exit edge")
+            .with("kernel", "bad")
+            .with("header_pc", "0x1010"),
+    );
+    r.push(
+        Diagnostic::new(
+            Lint::SuiteDeadParameter,
+            "no kernel in the suite can observe this parameter",
+        )
+        .with("space", "a53")
+        .with("param", "lat.fp_sqrt")
+        .with("requires", "fp square root site(s)"),
+    );
+    r.push(
+        Diagnostic::new(
+            Lint::FloatReductionOrder,
+            "cost aggregation is order-sensitive",
+        )
+        .with("audit", "determinism"),
+    );
+    r.sort();
+    let coverage = concat!(
+        "{\"a53\":{\"kernels\":[\"chain\",\"looped\"],\"params\":[",
+        "{\"name\":\"lat.fp_sqrt\",\"requirement\":\"fp square root site(s)\",\"observers\":[]},",
+        "{\"name\":\"width\",\"requirement\":\"any kernel\",\"observers\":[\"chain\",\"looped\"]}",
+        "]}}"
+    )
+    .to_string();
+    (r, coverage)
+}
+
+#[test]
+fn suite_json_rendering_matches_golden() {
+    let (r, coverage) = sample_suite_report();
+    check_golden(
+        "report_suite.json",
+        &r.render_json_with(&[("coverage", coverage)]),
+    );
+}
+
+#[test]
+fn render_json_with_no_sections_equals_render_json() {
+    let r = sample_report();
+    assert_eq!(r.render_json(), r.render_json_with(&[]));
+}
+
 #[test]
 fn json_is_stable_across_renders() {
     let r = sample_report();

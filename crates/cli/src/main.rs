@@ -9,7 +9,7 @@
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
 //! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS] [--telemetry F]
 //! racesim report   <JOURNAL> [--json]
-//! racesim lint     [--json] [--revision fixed|initial]
+//! racesim lint     [--json] [--suite] [--revision fixed|initial]
 //! ```
 
 use racesim_core::{
@@ -17,7 +17,7 @@ use racesim_core::{
 };
 use racesim_hw::{FaultPlan, FaultyBoard, HardwarePlatform, ReferenceBoard};
 use racesim_kernels::{microbench_suite, probes, spec_suite, Scale, Workload};
-use racesim_race::{RaceSettings, RacingTuner, TryCostFn, TunerSettings, Watchdog};
+use racesim_race::{RaceSettings, RacingTuner, TryCostFn, TunerSettings, Value, Watchdog};
 use racesim_sim::{config_text, Platform, Simulator};
 use racesim_telemetry::{read_journal, Event, JournalEntry, Telemetry};
 use racesim_uarch::CoreKind;
@@ -57,6 +57,12 @@ COMMON OPTIONS:
     --revision <fixed|initial>    model revision to lint (default fixed)
     --json                        machine-readable lint output (stable schema)
 
+LINT OPTIONS:
+    --suite                       whole-campaign analysis: kernel IR lints (RA4xx),
+                                  the parameter-coverage matrix and suite-level
+                                  coverage lints (RA41x), and the determinism
+                                  audit (RA5xx)
+
 TUNE OPTIONS:
     --seed <N>                    tuner RNG seed (default 0xBADCAB1E); runs are deterministic per seed
     --checkpoint <FILE>           write a resumable snapshot after every completed iteration
@@ -74,7 +80,7 @@ REPORT OPTIONS:
 ";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "suite"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -399,6 +405,36 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     let n_instances = cost.len();
 
     let mut tuner = RacingTuner::new(settings.tuner).with_telemetry(telemetry.clone());
+
+    // Coverage-based pruning: a dimension no benchmark in the suite can
+    // statically observe cannot move the cost, so pin it to its default
+    // before any budget is spent. The dimension stays in the space (the
+    // model applier reads every parameter and checkpoint fingerprints
+    // must stay valid) — the sampler just never varies it.
+    let profiles: Vec<_> = suite
+        .iter()
+        .map(|w| racesim_analyzer::ir::profile(&w.name, &w.program))
+        .collect();
+    let matrix = racesim_analyzer::coverage::CoverageMatrix::build(&space, &profiles, &base);
+    let defaults = space.default_configuration();
+    let frozen: Vec<(usize, Value)> = matrix
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.count() == 0)
+        .map(|(i, p)| {
+            println!(
+                "freezing `{}` at its default: no benchmark observes it (needs {})",
+                p.name,
+                p.requirement.describe()
+            );
+            (i, defaults.value(i))
+        })
+        .collect();
+    if !frozen.is_empty() {
+        tuner = tuner.with_frozen(frozen);
+    }
+
     if let Some(path) = flags.get("checkpoint") {
         tuner = tuner.with_checkpoint(path);
         println!("checkpointing to {path} after every iteration");
@@ -971,11 +1007,65 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         ));
     }
 
+    // 5. Whole-campaign analysis (--suite): kernel IR lints, the
+    //    parameter-coverage matrix per core space, and the determinism
+    //    audit.
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    let mut coverage_text = String::new();
+    if flags.get("suite").is_some() {
+        let mut all = suite.clone();
+        all.extend(spec_suite(scale));
+
+        let mut profiles = Vec::new();
+        for w in &all {
+            for mut d in racesim_analyzer::ir::check(&w.program) {
+                d.context.insert(0, ("kernel".to_string(), w.name.clone()));
+                report.push(d);
+            }
+            profiles.push(racesim_analyzer::ir::profile(&w.name, &w.program));
+        }
+
+        let mut coverage_json = String::from("{");
+        for (label, kind, base) in [
+            ("a53", CoreKind::InOrder, Platform::a53_like()),
+            ("a72", CoreKind::OutOfOrder, Platform::a72_like()),
+        ] {
+            let space = racesim_core::params::build_space(kind, revision);
+            let matrix =
+                racesim_analyzer::coverage::CoverageMatrix::build(&space, &profiles, &base);
+            let apply =
+                |cfg: &racesim_race::Configuration| racesim_core::params::apply(&space, cfg, &base);
+            for mut d in racesim_analyzer::coverage::check_suite(&space, &matrix, &apply) {
+                d.context
+                    .insert(0, ("space".to_string(), label.to_string()));
+                report.push(d);
+            }
+            coverage_text.push_str(&format!(
+                "\nparameter coverage [{label}]:\n{}",
+                matrix.render_text()
+            ));
+            if label != "a53" {
+                coverage_json.push(',');
+            }
+            coverage_json.push_str(&format!("\"{label}\":{}", matrix.render_json()));
+        }
+        coverage_json.push('}');
+        sections.push(("coverage", coverage_json));
+
+        let build = || racesim_core::params::build_space(CoreKind::InOrder, revision);
+        for mut d in racesim_analyzer::determinism::check(&build) {
+            d.context
+                .insert(0, ("audit".to_string(), "determinism".to_string()));
+            report.push(d);
+        }
+    }
+
     report.sort();
     if flags.get("json").is_some() {
-        println!("{}", report.render_json());
+        println!("{}", report.render_json_with(&sections));
     } else {
         print!("{}", report.render_text());
+        print!("{coverage_text}");
     }
     Ok(if report.has_errors() {
         ExitCode::FAILURE

@@ -283,6 +283,14 @@ impl Decoder {
             .map(|(i, w)| self.decode(*w).map_err(|e| (i, e)))
             .collect()
     }
+
+    /// Decodes an entire code section leniently: undecodable words become
+    /// `None` instead of aborting the walk. This is the static view the
+    /// analyzer passes build on — a corrupted word must not hide the
+    /// analysis of everything after it.
+    pub fn decode_program(&self, code: &[EncodedInst]) -> Vec<Option<StaticInst>> {
+        code.iter().map(|w| self.decode(*w).ok()).collect()
+    }
 }
 
 #[cfg(test)]

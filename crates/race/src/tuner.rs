@@ -4,7 +4,7 @@ use crate::cache::CostCache;
 use crate::checkpoint::TunerCheckpoint;
 use crate::error::{EvalError, Quarantine};
 use crate::model::SamplingModel;
-use crate::param::{Configuration, ParamSpace};
+use crate::param::{Configuration, ParamSpace, Value};
 use crate::race::{race, RaceContext, RaceLogEntry, RaceSettings};
 use racesim_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
@@ -212,6 +212,7 @@ pub trait Tuner {
 pub struct RacingTuner {
     settings: TunerSettings,
     pruner: Option<Pruner>,
+    frozen: Vec<(usize, Value)>,
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     cancel: Option<Arc<AtomicBool>>,
@@ -223,6 +224,7 @@ impl std::fmt::Debug for RacingTuner {
         f.debug_struct("RacingTuner")
             .field("settings", &self.settings)
             .field("pruner", &self.pruner.as_ref().map(|_| "<fn>"))
+            .field("frozen", &self.frozen)
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume)
             .field("telemetry", &self.telemetry)
@@ -236,11 +238,26 @@ impl RacingTuner {
         RacingTuner {
             settings,
             pruner: None,
+            frozen: Vec::new(),
             checkpoint: None,
             resume: None,
             cancel: None,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Freezes dimensions to fixed values: every sampled configuration
+    /// has each `(index, value)` pair applied *before* pruning,
+    /// deduplication and racing, so no simulation budget is ever spent
+    /// exploring a frozen dimension. The parameter stays in the space
+    /// (apply functions and checkpoint fingerprints still see it); only
+    /// its sampling freedom is removed.
+    ///
+    /// The campaign analyzer uses this to pin dimensions its coverage
+    /// matrix proves no kernel in the suite can observe.
+    pub fn with_frozen(mut self, frozen: Vec<(usize, Value)>) -> RacingTuner {
+        self.frozen = frozen;
+        self
     }
 
     /// Installs a pruner: sampled configurations it rejects are dropped
@@ -419,7 +436,7 @@ impl RacingTuner {
             let mut attempts = 0usize;
             while configs.len() < want && attempts < want * 50 {
                 attempts += 1;
-                let c = if elites.is_empty() {
+                let mut c = if elites.is_empty() {
                     model.sample(space, &mut rng)
                 } else {
                     // Pick a parent, weighted toward better elites.
@@ -428,6 +445,11 @@ impl RacingTuner {
                         ((w * w) * elites.len() as f64).floor() as usize % elites.len();
                     model.sample_around(space, &elites[parent_idx].0, &mut rng)
                 };
+                // Frozen dimensions are pinned before pruning and dedup:
+                // a dimension the suite cannot observe never costs budget.
+                for &(i, v) in &self.frozen {
+                    c.set_value(i, v);
+                }
                 if let Some(p) = &self.pruner {
                     if p(&c).is_some() {
                         pruned_total += 1;
@@ -853,6 +875,43 @@ mod tests {
         assert_eq!(awful_pruned, 0, "pruned run never simulates them");
         assert!(pruned.pruned > 0, "the pruner actually rejected samples");
         assert!(pruned.best_cost.is_finite());
+    }
+
+    #[test]
+    fn frozen_dimensions_never_vary_in_evaluated_configurations() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        struct Recording {
+            seen: Mutex<HashSet<String>>,
+        }
+        impl CostFn for Recording {
+            fn cost(&self, cfg: &Configuration, space: &ParamSpace, instance: usize) -> f64 {
+                self.seen.lock().unwrap().insert(cfg.render(space));
+                Bowl.cost(cfg, space, instance)
+            }
+        }
+        let s = space();
+        let mode = s.index_of("mode");
+        let boost = s.index_of("boost");
+        let cost = Recording {
+            seen: Mutex::new(HashSet::new()),
+        };
+        let r = RacingTuner::new(TunerSettings {
+            budget: 2_000,
+            seed: 23,
+            ..TunerSettings::default()
+        })
+        .with_frozen(vec![(mode, Value::Cat(0)), (boost, Value::Flag(true))])
+        .tune(&s, &cost, 12);
+        let simulated = cost.seen.into_inner().unwrap();
+        assert!(simulated.len() > 1, "the tuner still explores x and y");
+        for c in &simulated {
+            assert!(c.contains("mode=good"), "{c}");
+            assert!(c.contains("boost=true"), "{c}");
+        }
+        assert_eq!(r.best.categorical(&s, "mode"), "good");
+        assert!(r.best.flag(&s, "boost"));
     }
 
     #[test]

@@ -47,10 +47,12 @@
 mod buffer;
 mod format;
 mod record;
+mod static_summary;
 mod summary;
 mod varint;
 
 pub use buffer::TraceBuffer;
 pub use format::{TraceReader, TraceWriter, FORMAT_VERSION};
 pub use record::{TraceRecord, TraceSink};
+pub use static_summary::StaticSummary;
 pub use summary::TraceSummary;

@@ -1,0 +1,139 @@
+//! Static instruction-site summary: the per-*site* analogue of
+//! [`TraceSummary`](crate::TraceSummary)'s per-*execution* counts.
+//!
+//! Where `TraceSummary` counts dynamic instructions in a recorded trace,
+//! `StaticSummary` counts decoded instruction sites in a program's code
+//! section — what an instruction cache, a branch predictor's site table,
+//! or a static analysis pass sees before anything runs. The analyzer's
+//! kernel-IR passes build their parameter-coverage matrix on top of it.
+
+use racesim_isa::{InstClass, StaticInst};
+
+/// Per-class counts of decoded instruction sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticSummary {
+    /// Instruction sites summarised (including undecodable slots only if
+    /// the caller chose to pass them — normally decoded sites only).
+    pub instructions: u64,
+    /// Sites per timing class, indexed by [`InstClass::index`].
+    pub class_counts: [u64; InstClass::COUNT],
+}
+
+impl Default for StaticSummary {
+    fn default() -> StaticSummary {
+        StaticSummary {
+            instructions: 0,
+            class_counts: [0; InstClass::COUNT],
+        }
+    }
+}
+
+impl StaticSummary {
+    /// Summarises a set of decoded instruction sites (typically the
+    /// reachable subset of a program — pass what the analysis proved
+    /// executable, not the raw code section, if the distinction matters).
+    pub fn of_insts<'a>(insts: impl IntoIterator<Item = &'a StaticInst>) -> StaticSummary {
+        let mut s = StaticSummary::default();
+        for inst in insts {
+            s.instructions += 1;
+            s.class_counts[inst.class.index()] += 1;
+        }
+        s
+    }
+
+    /// Sites of one timing class.
+    #[inline]
+    pub fn count(&self, class: InstClass) -> u64 {
+        self.class_counts[class.index()]
+    }
+
+    /// Whether at least one site of `class` exists.
+    #[inline]
+    pub fn has_class(&self, class: InstClass) -> bool {
+        self.count(class) > 0
+    }
+
+    /// Load sites.
+    pub fn loads(&self) -> u64 {
+        self.count(InstClass::Load)
+    }
+
+    /// Store sites.
+    pub fn stores(&self) -> u64 {
+        self.count(InstClass::Store)
+    }
+
+    /// Load plus store sites.
+    pub fn memory_ops(&self) -> u64 {
+        self.loads() + self.stores()
+    }
+
+    /// Conditional-branch sites (the direction predictor's working set).
+    pub fn cond_branches(&self) -> u64 {
+        self.count(InstClass::BranchCond)
+    }
+
+    /// Indirect-branch sites (`br`), excluding calls and returns.
+    pub fn indirect_branches(&self) -> u64 {
+        self.count(InstClass::BranchIndirect)
+    }
+
+    /// Call sites (`bl`, `blr`) — what exercises a return-address stack.
+    pub fn calls(&self) -> u64 {
+        self.count(InstClass::BranchCall)
+    }
+
+    /// Return sites (`ret`).
+    pub fn returns(&self) -> u64 {
+        self.count(InstClass::BranchRet)
+    }
+
+    /// Branch sites of any kind.
+    pub fn branches(&self) -> u64 {
+        InstClass::ALL
+            .iter()
+            .filter(|c| c.is_branch())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// FP and SIMD sites.
+    pub fn fp_simd(&self) -> u64 {
+        InstClass::ALL
+            .iter()
+            .filter(|c| c.is_fp_or_simd())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racesim_decoder::Decoder;
+    use racesim_isa::{asm::Asm, Reg};
+
+    #[test]
+    fn static_summary_counts_sites_not_executions() {
+        let mut a = Asm::new();
+        a.add(Reg::x(0), Reg::x(1), Reg::x(2));
+        a.ldr8(Reg::x(1), Reg::x(2), 0);
+        a.str8(Reg::x(1), Reg::x(2), 0);
+        a.fadd(Reg::v(0), Reg::v(1), Reg::v(2));
+        let top = a.here();
+        a.b(top); // a loop: still exactly one branch *site*
+        a.ret();
+        let p = a.finish();
+        let insts = Decoder::new().decode_all(&p.code).expect("decodes");
+        let s = StaticSummary::of_insts(&insts);
+        assert_eq!(s.instructions, 6);
+        assert_eq!(s.loads(), 1);
+        assert_eq!(s.stores(), 1);
+        assert_eq!(s.memory_ops(), 2);
+        assert_eq!(s.branches(), 2);
+        assert_eq!(s.returns(), 1);
+        assert_eq!(s.fp_simd(), 1);
+        assert!(s.has_class(InstClass::FpAdd));
+        assert!(!s.has_class(InstClass::FpSqrt));
+    }
+}
