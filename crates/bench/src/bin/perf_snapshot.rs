@@ -1,0 +1,224 @@
+//! Writes a reproducible performance snapshot of the simulator itself —
+//! the perf trajectory the repo tracks across changes.
+//!
+//! The snapshot (`BENCH_7.json` by default) records:
+//!
+//! * simulator throughput (instructions per second) per kernel
+//!   category, best of three runs;
+//! * the end-to-end wall time of a `fig2_race`-style A53 tune;
+//! * the self-profiler's phase breakdown (percent of profiled wall per
+//!   phase path) over the micro-benchmark suite.
+//!
+//! ```text
+//! perf_snapshot [--out FILE] [--gate BASELINE] [--tolerance 0.25]
+//! ```
+//!
+//! With `--gate`, every per-category throughput is compared against the
+//! baseline file and the process exits non-zero when any category
+//! regressed by more than the tolerance (default 25%) — the CI
+//! regression gate. Scale and budget come from `RACESIM_SCALE` /
+//! `RACESIM_BUDGET` as for every other experiment binary.
+
+use racesim_bench::{banner, validate, ExperimentConfig};
+use racesim_core::Revision;
+use racesim_kernels::microbench_suite;
+use racesim_sim::{Platform, Simulator};
+use racesim_telemetry::Profiler;
+use racesim_uarch::CoreKind;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Throughput-measurement repetitions; the best (max) run is recorded so
+/// the snapshot tracks the machine's capability, not its noise.
+const REPS: usize = 3;
+
+struct Snapshot {
+    scale: u64,
+    /// category → best instructions per second.
+    throughput: BTreeMap<String, f64>,
+    tune_wall_ms: f64,
+    /// phase path → percent of profiled wall (self time).
+    phases: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    fn render_json(&self) -> String {
+        let map = |m: &BTreeMap<String, f64>| {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\":{v:.1}")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        format!(
+            "{{\"schema_version\":1,\"scale\":{},\"throughput\":{},\
+             \"tune_wall_ms\":{:.1},\"phases\":{}}}\n",
+            self.scale,
+            map(&self.throughput),
+            self.tune_wall_ms,
+            map(&self.phases)
+        )
+    }
+}
+
+/// Extracts the flat `"name":number` pairs of one named JSON object from
+/// a snapshot file this binary wrote earlier. Purpose-built for the
+/// schema above, not a general JSON parser.
+fn parse_flat_object(json: &str, key: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let marker = format!("\"{key}\":{{");
+    let Some(start) = json.find(&marker) else {
+        return out;
+    };
+    let body = &json[start + marker.len()..];
+    let Some(end) = body.find('}') else {
+        return out;
+    };
+    for pair in body[..end].split(',') {
+        let mut it = pair.splitn(2, ':');
+        let (Some(name), Some(value)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(name.to_string(), v);
+        }
+    }
+    out
+}
+
+fn measure_throughput(cfg: &ExperimentConfig) -> BTreeMap<String, f64> {
+    // insts and best wall per category, summed over each category's
+    // kernels within a rep, best-of-reps on the aggregate.
+    let suite = microbench_suite(cfg.scale);
+    let traces: Vec<_> = suite
+        .iter()
+        .map(|w| (w.category.to_string(), w.trace().expect("kernel traces")))
+        .collect();
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    for _ in 0..REPS {
+        let mut insts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut wall_ns: BTreeMap<String, u64> = BTreeMap::new();
+        for (category, trace) in &traces {
+            let sim = Simulator::new(Platform::a53_like());
+            let t0 = Instant::now();
+            let stats = sim.run(trace).expect("trace replays");
+            *wall_ns.entry(category.clone()).or_default() += t0.elapsed().as_nanos() as u64;
+            *insts.entry(category.clone()).or_default() += stats.core.instructions;
+        }
+        for (category, n) in insts {
+            let ips = n as f64 * 1e9 / wall_ns[&category].max(1) as f64;
+            let slot = best.entry(category).or_insert(0.0);
+            if ips > *slot {
+                *slot = ips;
+            }
+        }
+    }
+    best
+}
+
+fn measure_phases(cfg: &ExperimentConfig) -> BTreeMap<String, f64> {
+    // One shared profiler across the whole suite: the breakdown reflects
+    // where an aggregate simulation run spends its time.
+    let profiler = Profiler::enabled();
+    for w in microbench_suite(cfg.scale) {
+        let trace = w.trace().expect("kernel traces");
+        Simulator::new(Platform::a53_like())
+            .with_profiler(profiler.clone())
+            .run(&trace)
+            .expect("trace replays");
+    }
+    let snap = profiler.snapshot();
+    let total = snap.total_ns().max(1) as f64;
+    let mut out = BTreeMap::new();
+    for line in snap.render_folded().lines() {
+        let Some((path, self_ns)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(ns) = self_ns.parse::<u64>() else {
+            continue;
+        };
+        let pct = 100.0 * ns as f64 / total;
+        if pct >= 0.05 {
+            out.insert(path.replace(';', "/"), pct);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let gate = flag("--gate");
+    let tolerance: f64 = flag("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a fraction like 0.25"))
+        .unwrap_or(0.25);
+
+    let cfg = ExperimentConfig::from_env();
+    banner("perf snapshot: simulator throughput, tune wall time, phase breakdown");
+
+    println!("measuring throughput per kernel category ({REPS} reps)...");
+    let throughput = measure_throughput(&cfg);
+    for (category, ips) in &throughput {
+        println!("  {category:<18} {:.2} Minst/s", ips / 1e6);
+    }
+
+    println!("profiling the phase breakdown...");
+    let phases = measure_phases(&cfg);
+
+    println!("timing an end-to-end A53 tune (budget {})...", cfg.budget);
+    let t0 = Instant::now();
+    let outcome = validate(CoreKind::InOrder, Revision::Fixed, &cfg);
+    let tune_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  {tune_wall_ms:.0} ms, {} evaluations, best cost {:.1}%",
+        outcome.tune.evals_used, outcome.tune.best_cost
+    );
+
+    let snapshot = Snapshot {
+        scale: std::env::var("RACESIM_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512),
+        throughput,
+        tune_wall_ms,
+        phases,
+    };
+    std::fs::write(&out_path, snapshot.render_json()).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+
+    if let Some(baseline_path) = gate {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let base = parse_flat_object(&baseline, "throughput");
+        assert!(
+            !base.is_empty(),
+            "baseline {baseline_path} has no throughput"
+        );
+        let mut regressed = false;
+        for (category, &base_ips) in &base {
+            let now = snapshot.throughput.get(category).copied().unwrap_or(0.0);
+            let floor = base_ips * (1.0 - tolerance);
+            let verdict = if now < floor {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "gate {category:<18} baseline {:.2} Minst/s, now {:.2} Minst/s  {verdict}",
+                base_ips / 1e6,
+                now / 1e6
+            );
+        }
+        if regressed {
+            eprintln!(
+                "error: throughput regressed by more than {:.0}% vs {baseline_path}",
+                100.0 * tolerance
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed (tolerance {:.0}%)", 100.0 * tolerance);
+    }
+}

@@ -9,6 +9,7 @@
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
 //! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS] [--telemetry F]
 //! racesim report   <JOURNAL> [--json]
+//! racesim profile  [--suite micro|spec|all] [--workload NAME] [--json] [--folded FILE]
 //! racesim lint     [--json] [--suite] [--revision fixed|initial]
 //! ```
 
@@ -42,6 +43,8 @@ COMMANDS:
     validate                      run the full validation methodology and save the tuned model
     tune                          fault-tolerant tuning with checkpoint/resume and fault injection
     report <JOURNAL>              summarize a telemetry journal written by `tune --telemetry`
+    profile                       self-profile the simulator: per-kernel phase tree of where
+                                  wall time goes (fetch/decode/execute, memory levels, stalls)
     lint                          statically check platforms, parameter spaces and kernels
     help                          show this message
 
@@ -77,19 +80,27 @@ TUNE OPTIONS:
 
 REPORT OPTIONS:
     --json                        machine-readable campaign summary (stable schema)
+
+PROFILE OPTIONS:
+    --suite <micro|spec|all>      which kernel suite to profile (default micro)
+    --workload <NAME>             profile only this workload
+    --json                        machine-readable phase tree (stable schema)
+    --folded <FILE>               also write a folded-stack file (flamegraph.pl input)
 ";
 
-/// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json", "suite"];
+/// Flags that take no value. `--suite` is boolean only for `lint`; for
+/// `profile` it takes a suite name.
+const BOOL_FLAGS: &[&str] = &["json"];
+const LINT_BOOL_FLAGS: &[&str] = &["json", "suite"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], bool_flags: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        if BOOL_FLAGS.contains(&key) {
+        if bool_flags.contains(&key) {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -317,6 +328,17 @@ fn fault_plan_of(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, S
     }
 }
 
+/// Flushes a telemetry journal when dropped, so every exit path of
+/// [`cmd_tune`] — including `?` early returns and watchdog-induced
+/// failures — leaves a fully written, parseable JSONL file behind.
+struct FlushGuard(Telemetry);
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        self.0.flush();
+    }
+}
+
 /// `racesim tune`: the fault-tolerant tuning path. Measurements happen
 /// lazily inside the race (so board faults are retried, quarantined or
 /// charged to the offending configuration instead of killing the run),
@@ -378,6 +400,7 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         None => Telemetry::disabled(),
     };
+    let _flush = FlushGuard(telemetry.clone());
 
     let base_board = match kind {
         CoreKind::InOrder => ReferenceBoard::firefly_a53(),
@@ -521,6 +544,8 @@ struct CampaignSummary {
     eliminations: Vec<(String, usize, String)>,
     quarantines: Vec<(String, String)>,
     checkpoints: u64,
+    /// event name → number of journal entries of that kind.
+    events: BTreeMap<String, u64>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     /// name → (count, sum, p50, p90, p99, max).
@@ -531,6 +556,7 @@ impl CampaignSummary {
     fn digest(entries: &[JournalEntry]) -> CampaignSummary {
         let mut s = CampaignSummary::default();
         for e in entries {
+            *s.events.entry(e.event.name().to_string()).or_default() += 1;
             match &e.event {
                 Event::CampaignStart {
                     seed,
@@ -664,6 +690,18 @@ impl CampaignSummary {
             rows.push(kv("aborted", aborted.to_string()));
         }
         rows.push(kv("quarantined", self.quarantines.len().to_string()));
+        let hits = self.counters.get("cache.hits").copied().unwrap_or(0);
+        let misses = self.counters.get("cache.misses").copied().unwrap_or(0);
+        if hits + misses > 0 {
+            rows.push(kv(
+                "cache hit rate",
+                format!(
+                    "{:.1}% ({hits} of {} lookups)",
+                    100.0 * hits as f64 / (hits + misses) as f64,
+                    hits + misses
+                ),
+            ));
+        }
         rows.push(kv(
             "wall time",
             format!("{:.1} ms", self.wall_us as f64 / 1000.0),
@@ -779,6 +817,19 @@ impl CampaignSummary {
 
         for (instance, reason) in &self.quarantines {
             let _ = writeln!(out, "quarantined {instance}: {reason}");
+        }
+
+        if !self.events.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .events
+                .iter()
+                .map(|(name, v)| vec![name.clone(), v.to_string()])
+                .collect();
+            let _ = write!(
+                out,
+                "\njournal events\n{}",
+                report::table(&["event", "count"], &rows)
+            );
         }
 
         if !self.counters.is_empty() {
@@ -897,6 +948,7 @@ impl CampaignSummary {
             })
             .collect();
         parts.push(format!("\"evaluations\":{{{}}}", evals.join(",")));
+        parts.push(format!("\"events\":{}", map_u64(&self.events)));
         parts.push(format!("\"counters\":{}", map_u64(&self.counters)));
         parts.push(format!("\"gauges\":{}", map_u64(&self.gauges)));
         let hists: Vec<String> = self
@@ -932,6 +984,142 @@ fn cmd_report(journal: &str, flags: &HashMap<String, String>) -> Result<(), Stri
         println!("{}", summary.render_json());
     } else {
         print!("{}", summary.render_text());
+    }
+    Ok(())
+}
+
+/// One kernel's self-profile: what the simulator measured about itself.
+struct KernelProfile {
+    name: String,
+    category: String,
+    wall_ns: u64,
+    instructions: u64,
+    cycles: u64,
+    snapshot: racesim_telemetry::ProfileSnapshot,
+}
+
+impl KernelProfile {
+    /// Fraction of the measured wall time covered by the phase tree
+    /// (root totals over wall; the simulator's own phases should explain
+    /// nearly all of it).
+    fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.snapshot.total_ns() as f64 / self.wall_ns as f64
+        }
+    }
+
+    fn inst_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// `racesim profile`: run kernels through the simulator with the
+/// self-profiler attached and show where the wall time goes, per kernel:
+/// an indented phase tree (fetch → decode, execute → memory levels and
+/// stall attribution), `--json` for the machine-readable form, and
+/// `--folded FILE` for a flamegraph.pl-compatible folded-stack dump.
+fn cmd_profile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let platform = platform_of(flags)?;
+    let mut suite = match flags.get("suite").map(String::as_str) {
+        None | Some("micro") => microbench_suite(scale),
+        Some("spec") => spec_suite(scale),
+        Some("all") => {
+            let mut v = microbench_suite(scale);
+            v.extend(spec_suite(scale));
+            v
+        }
+        Some(v) => return Err(format!("unknown suite {v:?} (use micro, spec or all)")),
+    };
+    if let Some(name) = flags.get("workload") {
+        suite.retain(|w| &w.name == name);
+        if suite.is_empty() {
+            return Err(format!("unknown workload {name:?} (see `racesim list`)"));
+        }
+    }
+
+    let mut profiles = Vec::new();
+    for w in &suite {
+        let trace = w.trace().map_err(|e| format!("{}: {e}", w.name))?;
+        // A fresh profiler per kernel keeps the trees comparable; two
+        // runs, keeping the faster (less scheduler noise in the wall
+        // measurement). The wall clock starts after simulator
+        // construction, so the coverage ratio compares the phase tree
+        // against the run it actually describes.
+        let mut best: Option<KernelProfile> = None;
+        for _ in 0..2 {
+            let profiler = racesim_telemetry::Profiler::enabled();
+            let sim = Simulator::new(platform.clone()).with_profiler(profiler.clone());
+            let t0 = std::time::Instant::now();
+            let stats = sim.run(&trace).map_err(|e| format!("{}: {e}", w.name))?;
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            if best.as_ref().is_none_or(|b| wall_ns < b.wall_ns) {
+                best = Some(KernelProfile {
+                    name: w.name.clone(),
+                    category: w.category.to_string(),
+                    wall_ns,
+                    instructions: stats.core.instructions,
+                    cycles: stats.core.cycles,
+                    snapshot: profiler.snapshot(),
+                });
+            }
+        }
+        profiles.push(best.expect("at least one run"));
+    }
+
+    if let Some(path) = flags.get("folded") {
+        let mut out = String::new();
+        for p in &profiles {
+            for line in p.snapshot.render_folded().lines() {
+                out.push_str(&p.name);
+                out.push(';');
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("folded stacks written to {path}");
+    }
+
+    if flags.get("json").is_some() {
+        let mut kernels = Vec::new();
+        for p in &profiles {
+            kernels.push(format!(
+                "{{\"name\":\"{}\",\"category\":\"{}\",\"wall_ns\":{},\"instructions\":{},\
+                 \"cycles\":{},\"coverage\":{:.4},\"profile\":{}}}",
+                p.name,
+                p.category,
+                p.wall_ns,
+                p.instructions,
+                p.cycles,
+                p.coverage(),
+                p.snapshot.render_json()
+            ));
+        }
+        println!(
+            "{{\"schema_version\":1,\"platform\":\"{}\",\"kernels\":[{}]}}",
+            platform.name,
+            kernels.join(",")
+        );
+    } else {
+        println!("platform: {}", platform.name);
+        for p in &profiles {
+            println!(
+                "\n== {} ({}) ==  wall {:.2} ms  {:.1} Minst/s  coverage {:.1}%",
+                p.name,
+                p.category,
+                p.wall_ns as f64 / 1e6,
+                p.inst_per_sec() / 1e6,
+                100.0 * p.coverage()
+            );
+            print!("{}", p.snapshot.render_text());
+        }
     }
     Ok(())
 }
@@ -1089,7 +1277,12 @@ fn main() -> ExitCode {
     } else {
         &args[1..]
     };
-    let flags = match parse_flags(flag_args) {
+    let bool_flags = if cmd == "lint" {
+        LINT_BOOL_FLAGS
+    } else {
+        BOOL_FLAGS
+    };
+    let flags = match parse_flags(flag_args, bool_flags) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1108,6 +1301,7 @@ fn main() -> ExitCode {
             Some(journal) => cmd_report(journal, &flags),
             None => Err("report needs a journal path: racesim report <FILE> [--json]".to_string()),
         },
+        "profile" => cmd_profile(&flags),
         "lint" => {
             return match cmd_lint(&flags) {
                 Ok(code) => code,
@@ -1142,11 +1336,43 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let f = parse_flags(&args).unwrap();
+        let f = parse_flags(&args, BOOL_FLAGS).unwrap();
         assert_eq!(f.get("scale").unwrap(), "1024");
         assert_eq!(f.get("workload").unwrap(), "MD");
-        assert!(parse_flags(&["--dangling".to_string()]).is_err());
-        assert!(parse_flags(&["positional".to_string()]).is_err());
+        assert!(parse_flags(&["--dangling".to_string()], BOOL_FLAGS).is_err());
+        assert!(parse_flags(&["positional".to_string()], BOOL_FLAGS).is_err());
+        // `--suite` is boolean for lint, value-taking elsewhere.
+        let args = vec!["--suite".to_string()];
+        assert_eq!(
+            parse_flags(&args, LINT_BOOL_FLAGS).unwrap().get("suite"),
+            Some(&"true".to_string())
+        );
+        assert!(parse_flags(&args, BOOL_FLAGS).is_err());
+    }
+
+    #[test]
+    fn flush_guard_flushes_on_early_exit() {
+        let path =
+            std::env::temp_dir().join(format!("racesim_flush_guard_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Simulate an error path: the guard drops before any explicit
+        // flush could run, and the journal must still be complete.
+        let early_return = || -> Result<(), String> {
+            let telemetry = Telemetry::to_file(&path, false).map_err(|e| e.to_string())?;
+            let _flush = FlushGuard(telemetry.clone());
+            telemetry.emit(Event::CampaignStart {
+                seed: 1,
+                budget: 2,
+                n_instances: 3,
+                n_params: 4,
+            });
+            Err("simulated failure".to_string())
+        };
+        assert!(early_return().is_err());
+        let (entries, errors) = read_journal(&path).expect("journal readable");
+        assert!(errors.is_empty(), "no torn lines: {errors:?}");
+        assert_eq!(entries.len(), 1, "the buffered event was flushed");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -108,6 +108,9 @@ fn tune_with_telemetry_then_report() {
     assert!(text.contains("best cost"), "{text}");
     assert!(text.contains("iterations"), "{text}");
     assert!(text.contains("sim.run_us"), "{text}");
+    assert!(text.contains("cache hit rate"), "{text}");
+    assert!(text.contains("journal events"), "{text}");
+    assert!(text.contains("campaign_start"), "{text}");
 
     // Machine-readable report carries the same totals.
     let out = racesim(&["report", &journal_s, "--json"]);
@@ -121,6 +124,52 @@ fn tune_with_telemetry_then_report() {
     assert!(json.contains("\"counters\":{"), "{json}");
 
     let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn profile_renders_a_phase_tree_with_high_coverage() {
+    let out = racesim(&["profile", "--workload", "ED1", "--scale", "8192"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== ED1"), "{text}");
+    assert!(text.contains("coverage"), "{text}");
+    assert!(text.contains("simulate"), "{text}");
+    assert!(text.contains("fetch"), "{text}");
+    assert!(text.contains("execute"), "{text}");
+}
+
+#[test]
+fn profile_json_and_folded_outputs() {
+    let folded = std::env::temp_dir().join(format!("racesim_folded_{}.txt", std::process::id()));
+    let folded_s = folded.display().to_string();
+    let out = racesim(&[
+        "profile",
+        "--workload",
+        "ED1",
+        "--scale",
+        "8192",
+        "--json",
+        "--folded",
+        &folded_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+    assert!(json.contains("\"kernels\":[{\"name\":\"ED1\""), "{json}");
+    assert!(json.contains("\"profile\":{\"phases\":["), "{json}");
+    assert!(json.contains("\"self_ns\":"), "{json}");
+
+    let stacks = std::fs::read_to_string(&folded).expect("folded file written");
+    assert!(stacks.contains("ED1;simulate"), "{stacks}");
+    let _ = std::fs::remove_file(&folded);
 }
 
 #[test]

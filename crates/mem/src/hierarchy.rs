@@ -5,6 +5,8 @@ use crate::config::{HierarchyConfig, PrefetchWhere, TagAccess};
 use crate::dram::Dram;
 use crate::prefetch::{self, Prefetcher};
 use crate::tlb::{Tlb, TlbStats};
+use racesim_telemetry::PhaseTimer;
+use std::time::Instant;
 
 /// Kind of memory request issued by a core model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,6 +185,20 @@ pub struct MemoryHierarchy {
     l2_mshrs: MshrFile,
 
     scratch_prefetch: Vec<u64>,
+    prof: MemProf,
+}
+
+/// Pre-resolved self-profiler phases for the access paths. `on` keeps
+/// the unprofiled hot path to a single branch; all timers are dead
+/// no-ops until [`MemoryHierarchy::attach_profiler`] is called with an
+/// enabled profiler.
+#[derive(Debug, Default, Clone)]
+struct MemProf {
+    on: bool,
+    l1: PhaseTimer,
+    l2: PhaseTimer,
+    dram: PhaseTimer,
+    tlb: PhaseTimer,
 }
 
 impl MemoryHierarchy {
@@ -222,7 +238,23 @@ impl MemoryHierarchy {
             l1d_mshrs: MshrFile::new(cfg.l1d.mshrs),
             l2_mshrs: MshrFile::new(cfg.l2.mshrs),
             scratch_prefetch: Vec::with_capacity(prefetch::MAX_DEGREE),
+            prof: MemProf::default(),
         }
+    }
+
+    /// Attaches the self-profiler. Subsequent accesses attribute their
+    /// wall time and simulated latency cycles to `parent`'s `l1` / `l2`
+    /// / `dram` children — keyed by the level that serviced the request
+    /// — and TLB walk cycles to a `tlb` child. With a disabled `parent`
+    /// this stays a no-op and the hot path keeps its single branch.
+    pub fn attach_profiler(&mut self, parent: &PhaseTimer) {
+        self.prof = MemProf {
+            on: parent.is_enabled(),
+            l1: parent.child("l1"),
+            l2: parent.child("l2"),
+            dram: parent.child("dram"),
+            tlb: parent.child("tlb"),
+        };
     }
 
     /// The line size of the L1 instruction cache, in bytes.
@@ -357,6 +389,23 @@ impl MemoryHierarchy {
     /// * `pc` — program counter of the instruction (prefetcher training);
     /// * `cycle` — cycle at which the request issues.
     pub fn access(&mut self, op: MemOp, addr: u64, pc: u64, cycle: u64) -> AccessResult {
+        if !self.prof.on {
+            return self.access_inner(op, addr, pc, cycle);
+        }
+        let t0 = Instant::now();
+        let result = self.access_inner(op, addr, pc, cycle);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let timer = match result.level {
+            Level::L1 => &self.prof.l1,
+            Level::L2 => &self.prof.l2,
+            Level::Mem => &self.prof.dram,
+        };
+        timer.add(1, ns);
+        timer.add_cycles(result.latency);
+        result
+    }
+
+    fn access_inner(&mut self, op: MemOp, addr: u64, pc: u64, cycle: u64) -> AccessResult {
         match op {
             MemOp::IFetch => {
                 let block = addr >> self.l1i_shift;
@@ -386,6 +435,12 @@ impl MemoryHierarchy {
                 let mut extra = 0;
                 if let Some(tlb) = self.tlb.as_mut() {
                     extra += tlb.translate(addr);
+                }
+                if extra > 0 {
+                    // A TLB walk happened; count it and its cycles (the
+                    // wall time stays inside the overall access).
+                    self.prof.tlb.add(1, 0);
+                    self.prof.tlb.add_cycles(extra);
                 }
                 let block = addr >> self.l1d_shift;
                 let start = self.l1d_ports.admit(cycle + extra);

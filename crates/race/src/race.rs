@@ -5,7 +5,9 @@ use crate::error::{EvalError, Quarantine, RetryPolicy};
 use crate::param::{Configuration, ParamSpace};
 use crate::tuner::TryCostFn;
 use racesim_stats::{friedman_test, mean, paired_t_test, wilcoxon_signed_rank};
+use racesim_telemetry::PhaseTimer;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 /// Which statistical machinery eliminates losing configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +113,36 @@ pub struct RaceResult {
     pub aborted: bool,
 }
 
+/// Pre-resolved phase timers the racing loop records into when the
+/// self-profiler is attached. The handles are lock-free
+/// [`PhaseTimer`]s, so an enabled race pays two clock reads per block
+/// plus two per statistical pass; the disabled case
+/// ([`RaceContext::prof`]` == None`) costs one branch per block.
+#[derive(Debug, Clone)]
+pub struct RaceProf {
+    /// Wall time evaluating configurations (the simulator); the count is
+    /// the number of fresh evaluations.
+    pub simulate: PhaseTimer,
+    /// Wall time in the statistical machinery: matrix assembly, the
+    /// Friedman/t gate, and the pairwise tests against the leader.
+    pub rank: PhaseTimer,
+    /// Wall time applying eliminations (survivor-floor trimming and the
+    /// kill log).
+    pub eliminate: PhaseTimer,
+}
+
+impl RaceProf {
+    /// Creates the simulate/rank/eliminate timers as children of
+    /// `parent` (disabled parents yield disabled, zero-cost children).
+    pub fn new(parent: &PhaseTimer) -> RaceProf {
+        RaceProf {
+            simulate: parent.child("simulate"),
+            rank: parent.child("rank"),
+            eliminate: parent.child("eliminate"),
+        }
+    }
+}
+
 /// Shared infrastructure a race runs against: the cost memo, the
 /// cross-race instance quarantine, an optional cancellation flag
 /// (checked between blocks; a cancelled race reports `aborted`), and the
@@ -126,6 +158,9 @@ pub struct RaceContext<'a> {
     pub cancel: Option<&'a AtomicBool>,
     /// Worker threads for block evaluation (`<= 1` runs inline).
     pub threads: usize,
+    /// Phase timers for the self-profiler, or `None` when profiling is
+    /// off (the default).
+    pub prof: Option<&'a RaceProf>,
 }
 
 /// Evaluates one `(configuration, instance)` task with retry/backoff,
@@ -328,7 +363,11 @@ pub fn race(
         if *budget < alive_count as u64 || alive_count == 0 {
             break;
         }
+        let t_sim = ctx.prof.map(|_| Instant::now());
         let block = evaluate_block(space, configs, &alive, inst, cost, ctx, settings);
+        if let (Some(p), Some(t)) = (ctx.prof, t_sim) {
+            p.simulate.add(block.fresh, t.elapsed().as_nanos() as u64);
+        }
         *budget = budget.saturating_sub(block.fresh);
         evals_used += block.fresh;
         retries += block.retries;
@@ -370,6 +409,7 @@ pub fn race(
             continue;
         }
 
+        let t_rank = ctx.prof.map(|_| Instant::now());
         // Build the blocks × alive-configs matrix. Rows of configurations
         // that failed mid-race are shorter than `blocks_used`; only alive
         // configurations (full rows) enter the statistics.
@@ -386,6 +426,9 @@ pub fn race(
             EliminationTest::PairedT => true,
         };
         if !gate_passed {
+            if let (Some(p), Some(t)) = (ctx.prof, t_rank) {
+                p.rank.add(1, t.elapsed().as_nanos() as u64);
+            }
             continue;
         }
 
@@ -417,6 +460,10 @@ pub fn race(
                 to_kill.push((j, mean(&costs[j])));
             }
         }
+        if let (Some(p), Some(t)) = (ctx.prof, t_rank) {
+            p.rank.add(1, t.elapsed().as_nanos() as u64);
+        }
+        let t_elim = ctx.prof.map(|_| Instant::now());
         // Respect the survivor floor: spare the best of the condemned.
         let max_kills = alive_count.saturating_sub(settings.min_survivors);
         if to_kill.len() > max_kills {
@@ -430,6 +477,9 @@ pub fn race(
                 config: j,
                 after_blocks: blocks_used,
             });
+        }
+        if let (Some(p), Some(t)) = (ctx.prof, t_elim) {
+            p.eliminate.add(1, t.elapsed().as_nanos() as u64);
         }
         if alive_count <= settings.min_survivors {
             // Keep racing only to refine the ranking if instances remain;
@@ -522,6 +572,7 @@ mod tests {
                 quarantine,
                 cancel: None,
                 threads,
+                prof: None,
             },
             settings,
             budget,
@@ -719,6 +770,64 @@ mod tests {
     }
 
     #[test]
+    fn profiling_records_race_phases_without_changing_the_outcome() {
+        use racesim_telemetry::Profiler;
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let mut plain_budget = 10_000u64;
+        let plain = run(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &CostCache::new(),
+            &Quarantine::new(),
+            &RaceSettings::default(),
+            &mut plain_budget,
+            1,
+        );
+
+        let profiler = Profiler::enabled();
+        let prof = RaceProf::new(&profiler.timer("race"));
+        let cache = CostCache::new();
+        let q = Quarantine::new();
+        let mut budget = 10_000u64;
+        let r = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            RaceContext {
+                cache: &cache,
+                quarantine: &q,
+                cancel: None,
+                threads: 1,
+                prof: Some(&prof),
+            },
+            &RaceSettings::default(),
+            &mut budget,
+        );
+        assert_eq!(
+            r.survivors, plain.survivors,
+            "profiling is observation-only"
+        );
+        assert_eq!(r.evals_used, plain.evals_used);
+
+        let snap = profiler.snapshot();
+        let sim = snap
+            .find(&["race", "simulate"])
+            .expect("simulate phase recorded");
+        assert_eq!(sim.count, r.evals_used, "count tracks fresh evaluations");
+        let rank = snap.find(&["race", "rank"]).expect("rank phase recorded");
+        assert!(rank.count > 0, "the statistical test ran at least once");
+        let elim = snap
+            .find(&["race", "eliminate"])
+            .expect("eliminate phase recorded");
+        assert!(elim.count > 0, "this race eliminates configurations");
+    }
+
+    #[test]
     fn cancellation_aborts_between_blocks() {
         let s = space();
         let cfgs = configs(&s);
@@ -737,6 +846,7 @@ mod tests {
                 quarantine: &q,
                 cancel: Some(&cancel),
                 threads: 1,
+                prof: None,
             },
             &RaceSettings::default(),
             &mut budget,

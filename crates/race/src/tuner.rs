@@ -5,8 +5,8 @@ use crate::checkpoint::TunerCheckpoint;
 use crate::error::{EvalError, Quarantine};
 use crate::model::SamplingModel;
 use crate::param::{Configuration, ParamSpace, Value};
-use crate::race::{race, RaceContext, RaceLogEntry, RaceSettings};
-use racesim_telemetry::{Event, Telemetry};
+use crate::race::{race, RaceContext, RaceLogEntry, RaceProf, RaceSettings};
+use racesim_telemetry::{Event, Profiler, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -217,6 +217,7 @@ pub struct RacingTuner {
     resume: Option<PathBuf>,
     cancel: Option<Arc<AtomicBool>>,
     telemetry: Telemetry,
+    profiler: Profiler,
 }
 
 impl std::fmt::Debug for RacingTuner {
@@ -228,6 +229,7 @@ impl std::fmt::Debug for RacingTuner {
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume)
             .field("telemetry", &self.telemetry)
+            .field("profiler", &self.profiler)
             .finish_non_exhaustive()
     }
 }
@@ -243,6 +245,7 @@ impl RacingTuner {
             resume: None,
             cancel: None,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -300,6 +303,15 @@ impl RacingTuner {
         self
     }
 
+    /// Attaches a self-profiler: the tuner records wall time into the
+    /// phase tree `tune → iteration → {sample, simulate, rank,
+    /// eliminate, checkpoint}`. The default handle is disabled, which
+    /// costs one branch per phase boundary.
+    pub fn with_profiler(mut self, profiler: Profiler) -> RacingTuner {
+        self.profiler = profiler;
+        self
+    }
+
     /// The settings in use.
     pub fn settings(&self) -> &TunerSettings {
         &self.settings
@@ -341,6 +353,16 @@ impl RacingTuner {
         let mut retries_total = 0u64;
         let mut failed_total = 0u64;
         let mut first_iter = 0usize;
+
+        // Self-profiler phase handles: all disabled (zero-cost) unless a
+        // profiler was attached with `with_profiler`.
+        let prof_on = self.profiler.is_enabled();
+        let p_tune = self.profiler.timer("tune");
+        let p_iter = p_tune.child("iteration");
+        let p_sample = p_iter.child("sample");
+        let p_checkpoint = p_iter.child("checkpoint");
+        let race_prof = RaceProf::new(&p_iter);
+        let t_tune = prof_on.then(std::time::Instant::now);
 
         let tel = &self.telemetry;
         let campaign_sw = tel.stopwatch();
@@ -420,6 +442,7 @@ impl RacingTuner {
                 }
             }
             let iter_sw = tel.stopwatch();
+            let t_iter = prof_on.then(std::time::Instant::now);
             // Budget share for this iteration.
             let iter_budget = budget / (n_iters - iter) as u64;
             // Number of configurations: enough that the race can afford
@@ -429,6 +452,7 @@ impl RacingTuner {
                 .clamp(st.race.min_survivors as u64 + 2, 64) as usize;
 
             // Assemble the iteration's configurations: elites first.
+            let t_sample = prof_on.then(std::time::Instant::now);
             let mut configs: Vec<Configuration> = elites.iter().map(|(c, _)| c.clone()).collect();
             let want = n_new + elites.len();
             // A concentrated model may keep producing duplicates; cap the
@@ -461,6 +485,11 @@ impl RacingTuner {
                     configs.push(c);
                 }
             }
+            if let Some(t) = t_sample {
+                // Count = configurations sampled fresh this iteration.
+                let fresh = configs.len().saturating_sub(elites.len()) as u64;
+                p_sample.add(fresh, t.elapsed().as_nanos() as u64);
+            }
             if configs.len() < 2 {
                 break; // fully converged
             }
@@ -490,6 +519,7 @@ impl RacingTuner {
                     quarantine: &quarantine,
                     cancel: self.cancel.as_deref(),
                     threads: st.threads,
+                    prof: prof_on.then_some(&race_prof),
                 },
                 &st.race,
                 &mut race_budget,
@@ -576,6 +606,7 @@ impl RacingTuner {
             });
 
             if let Some(path) = &self.checkpoint {
+                let t_cp = prof_on.then(std::time::Instant::now);
                 let cp = TunerCheckpoint {
                     next_iteration: iter + 1,
                     budget_remaining: budget,
@@ -605,9 +636,18 @@ impl RacingTuner {
                         path: path.display().to_string(),
                     });
                 }
+                if let Some(t) = t_cp {
+                    p_checkpoint.record_ns(t.elapsed().as_nanos() as u64);
+                }
+            }
+            if let Some(t) = t_iter {
+                p_iter.record_ns(t.elapsed().as_nanos() as u64);
             }
         }
 
+        if let Some(t) = t_tune {
+            p_tune.record_ns(t.elapsed().as_nanos() as u64);
+        }
         let (best, best_cost) = elites
             .first()
             .cloned()
@@ -912,6 +952,43 @@ mod tests {
         }
         assert_eq!(r.best.categorical(&s, "mode"), "good");
         assert!(r.best.flag(&s, "boost"));
+    }
+
+    #[test]
+    fn profiling_builds_the_tuner_phase_tree() {
+        let s = space();
+        let mk = || TunerSettings {
+            budget: 1_000,
+            seed: 99,
+            ..TunerSettings::default()
+        };
+        let plain = RacingTuner::new(mk()).tune(&s, &Bowl, 12);
+
+        let profiler = Profiler::enabled();
+        let r = RacingTuner::new(mk())
+            .with_profiler(profiler.clone())
+            .tune(&s, &Bowl, 12);
+        assert_eq!(r.best, plain.best, "profiling is observation-only");
+        assert_eq!(r.evals_used, plain.evals_used);
+
+        let snap = profiler.snapshot();
+        let tune = snap.find(&["tune"]).expect("tune phase recorded");
+        assert_eq!(tune.count, 1);
+        let iter = snap.find(&["tune", "iteration"]).expect("iteration phase");
+        assert_eq!(iter.count as usize, r.history.len());
+        let sample = snap
+            .find(&["tune", "iteration", "sample"])
+            .expect("sample phase");
+        assert!(sample.count > 0, "configurations were sampled");
+        let sim = snap
+            .find(&["tune", "iteration", "simulate"])
+            .expect("simulate phase");
+        assert_eq!(sim.count, r.evals_used, "count tracks fresh evaluations");
+        assert!(snap.find(&["tune", "iteration", "rank"]).is_some());
+        assert!(snap.find(&["tune", "iteration", "eliminate"]).is_some());
+        assert!(snap.find(&["tune", "iteration", "checkpoint"]).is_some());
+        // The per-iteration phases nest under the iterations they ran in.
+        assert!(iter.total_ns >= sample.total_ns + sim.total_ns);
     }
 
     #[test]

@@ -4,11 +4,12 @@ use crate::platform::Platform;
 use racesim_decoder::{DecodeError, Decoder};
 use racesim_isa::{DynInst, EncodedInst, StaticInst};
 use racesim_mem::{HierarchyStats, MemoryHierarchy};
-use racesim_telemetry::{Counter, Histogram, Telemetry};
+use racesim_telemetry::{Counter, Histogram, PhaseTimer, Profiler, Telemetry};
 use racesim_trace::{TraceBuffer, TraceRecord};
 use racesim_uarch::{CoreConfig, CoreKind, CoreModel, CoreStats, InOrderCore, OooCore};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors from a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,7 +94,66 @@ pub struct Simulator {
     decoder: Decoder,
     options: SimOptions,
     metrics: SimMetrics,
+    prof: SimProf,
 }
+
+/// Self-profiler phases resolved once at attach time. The phase tree a
+/// profiled run produces:
+///
+/// ```text
+/// simulate
+///   prefill          cache warming passes
+///   fetch            trace → DynInst conversion
+///     decode         decoder calls on decode-cache misses
+///   execute          core model + memory hierarchy
+///     mem            l1 / l2 / dram / tlb (wall + latency cycles)
+///     core           per-cause stall cycles from the core model
+/// ```
+///
+/// The unprofiled path is untouched: `run_records` branches once on
+/// [`SimProf::on`] and otherwise runs the exact pre-profiler loop.
+#[derive(Debug, Clone, Default)]
+struct SimProf {
+    profiler: Profiler,
+    simulate: PhaseTimer,
+    prefill: PhaseTimer,
+    fetch: PhaseTimer,
+    decode: PhaseTimer,
+    execute: PhaseTimer,
+    mem: PhaseTimer,
+    core: PhaseTimer,
+}
+
+impl SimProf {
+    fn new(profiler: Profiler) -> SimProf {
+        let simulate = profiler.timer("simulate");
+        let prefill = simulate.child("prefill");
+        let fetch = simulate.child("fetch");
+        let decode = fetch.child("decode");
+        let execute = simulate.child("execute");
+        let mem = execute.child("mem");
+        let core = execute.child("core");
+        SimProf {
+            profiler,
+            simulate,
+            prefill,
+            fetch,
+            decode,
+            execute,
+            mem,
+            core,
+        }
+    }
+
+    fn on(&self) -> bool {
+        self.profiler.is_enabled()
+    }
+}
+
+/// Records per timing chunk in the profiled path: two clock reads per
+/// chunk keep the timing overhead amortised to well under a nanosecond
+/// per instruction.
+const PROFILE_CHUNK: usize = 2048;
 
 /// Telemetry handles resolved once at attach time, so each run pays only
 /// the atomic updates (or nothing, when telemetry is disabled).
@@ -130,6 +190,7 @@ impl Simulator {
             decoder: Decoder::new(),
             options: SimOptions::default(),
             metrics: SimMetrics::default(),
+            prof: SimProf::default(),
         }
     }
 
@@ -141,6 +202,7 @@ impl Simulator {
             decoder,
             options,
             metrics: SimMetrics::default(),
+            prof: SimProf::default(),
         }
     }
 
@@ -149,6 +211,20 @@ impl Simulator {
     /// is disabled.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Simulator {
         self.metrics = SimMetrics::new(telemetry);
+        self
+    }
+
+    /// Attaches a self-profiler: runs switch to a chunked, per-phase
+    /// timed replay that attributes wall time to `simulate` → `fetch` /
+    /// `decode` / `execute` / `mem` phases and feeds the core model's
+    /// stall-cycle attribution into a `core` sub-tree. With a disabled
+    /// `profiler` the pre-profiler replay loop runs unchanged.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Simulator {
+        self.prof = if profiler.is_enabled() {
+            SimProf::new(profiler)
+        } else {
+            SimProf::default()
+        };
         self
     }
 
@@ -175,51 +251,49 @@ impl Simulator {
     /// word.
     pub fn run_records(&self, records: &[TraceRecord]) -> Result<SimStats, SimError> {
         let sw = self.metrics.telemetry.stopwatch();
+        let profiled = self.prof.on();
+        let t_run = profiled.then(Instant::now);
         let mut core = build_core(&self.platform.core);
         let mut mem = MemoryHierarchy::new(&self.platform.mem);
-        let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
+        if profiled {
+            core.set_phase_accounting(true);
+            mem.attach_profiler(&self.prof.mem);
+        }
 
         if self.options.prefill_code || self.options.prefill_data || self.options.prefill_data_l2 {
-            for r in records {
-                if self.options.prefill_code {
-                    mem.prefill_code(r.pc());
-                }
-                if let Some(ea) = r.ea() {
-                    if self.options.prefill_data {
-                        mem.prefill_data(ea);
-                    } else if self.options.prefill_data_l2 {
-                        mem.prefill_data_l2(ea);
+            self.prof.prefill.time(|| {
+                for r in records {
+                    if self.options.prefill_code {
+                        mem.prefill_code(r.pc());
+                    }
+                    if let Some(ea) = r.ea() {
+                        if self.options.prefill_data {
+                            mem.prefill_data(ea);
+                        } else if self.options.prefill_data_l2 {
+                            mem.prefill_data_l2(ea);
+                        }
                     }
                 }
-            }
+            });
         }
 
-        for r in records {
-            let stat = match decode_cache.get(&r.word()) {
-                Some(s) => *s,
-                None => {
-                    let s = self
-                        .decoder
-                        .decode(r.word())
-                        .map_err(|source| SimError::Decode { pc: r.pc(), source })?;
-                    decode_cache.insert(r.word(), s);
-                    s
-                }
-            };
-            let dyn_inst = DynInst {
-                pc: r.pc(),
-                stat,
-                ea: r.ea().unwrap_or(0),
-                taken: r.taken(),
-                target: r.target().unwrap_or(0),
-            };
-            core.consume(&dyn_inst, &mut mem);
+        if profiled {
+            self.replay_profiled(core.as_mut(), &mut mem, records)?;
+        } else {
+            self.replay(core.as_mut(), &mut mem, records)?;
         }
-        core.finish(&mut mem);
         let stats = SimStats {
             core: core.stats(),
             mem: mem.stats(),
         };
+        if let Some(t0) = t_run {
+            self.prof.simulate.record_ns(t0.elapsed().as_nanos() as u64);
+            self.prof.simulate.add_insts(stats.core.instructions);
+            self.prof.simulate.add_cycles(stats.core.cycles);
+            for (phase, cycles) in core.phase_cycles() {
+                self.prof.core.child(phase).add_cycles(cycles);
+            }
+        }
         if self.metrics.telemetry.is_enabled() {
             let us = sw.elapsed_us();
             self.metrics.runs.inc();
@@ -231,6 +305,93 @@ impl Simulator {
                 .record(stats.core.instructions * 1000 / us.max(1));
         }
         Ok(stats)
+    }
+
+    /// Decodes one record through the shared decode cache.
+    #[inline]
+    fn decode_cached(
+        &self,
+        cache: &mut HashMap<EncodedInst, StaticInst>,
+        r: &TraceRecord,
+    ) -> Result<StaticInst, SimError> {
+        match cache.get(&r.word()) {
+            Some(s) => Ok(*s),
+            None => {
+                let s = self
+                    .prof
+                    .decode
+                    .time(|| self.decoder.decode(r.word()))
+                    .map_err(|source| SimError::Decode { pc: r.pc(), source })?;
+                cache.insert(r.word(), s);
+                Ok(s)
+            }
+        }
+    }
+
+    /// The unprofiled replay loop: byte-for-byte the pre-profiler hot
+    /// path (the `decode` timer inside `decode_cached` is dead here).
+    fn replay(
+        &self,
+        core: &mut dyn CoreModel,
+        mem: &mut MemoryHierarchy,
+        records: &[TraceRecord],
+    ) -> Result<(), SimError> {
+        let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
+        for r in records {
+            let stat = self.decode_cached(&mut decode_cache, r)?;
+            let dyn_inst = DynInst {
+                pc: r.pc(),
+                stat,
+                ea: r.ea().unwrap_or(0),
+                taken: r.taken(),
+                target: r.target().unwrap_or(0),
+            };
+            core.consume(&dyn_inst, mem);
+        }
+        core.finish(mem);
+        Ok(())
+    }
+
+    /// The profiled replay loop: identical simulation semantics (same
+    /// per-record decode/consume order), but fetch and execute are
+    /// timed per [`PROFILE_CHUNK`]-record chunk so clock reads amortise
+    /// to a negligible per-instruction cost.
+    fn replay_profiled(
+        &self,
+        core: &mut dyn CoreModel,
+        mem: &mut MemoryHierarchy,
+        records: &[TraceRecord],
+    ) -> Result<(), SimError> {
+        let mut decode_cache: HashMap<EncodedInst, StaticInst> = HashMap::new();
+        let mut dyn_insts: Vec<DynInst> = Vec::with_capacity(PROFILE_CHUNK);
+        for chunk in records.chunks(PROFILE_CHUNK) {
+            let t0 = Instant::now();
+            dyn_insts.clear();
+            for r in chunk {
+                let stat = self.decode_cached(&mut decode_cache, r)?;
+                dyn_insts.push(DynInst {
+                    pc: r.pc(),
+                    stat,
+                    ea: r.ea().unwrap_or(0),
+                    taken: r.taken(),
+                    target: r.target().unwrap_or(0),
+                });
+            }
+            self.prof
+                .fetch
+                .add(chunk.len() as u64, t0.elapsed().as_nanos() as u64);
+            let t1 = Instant::now();
+            for dyn_inst in &dyn_insts {
+                core.consume(dyn_inst, mem);
+            }
+            self.prof
+                .execute
+                .add(chunk.len() as u64, t1.elapsed().as_nanos() as u64);
+        }
+        let t2 = Instant::now();
+        core.finish(mem);
+        self.prof.execute.add(0, t2.elapsed().as_nanos() as u64);
+        Ok(())
     }
 }
 
@@ -309,6 +470,54 @@ mod tests {
         .unwrap();
         assert!(warm.core.cycles < cold.core.cycles);
         assert_eq!(warm.mem.l1d.misses, 0, "all data prefilled");
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_builds_the_phase_tree() {
+        let t = loop_trace(3000);
+        let plat = Platform::a53_like();
+        let plain = Simulator::new(plat.clone()).run(&t).unwrap();
+
+        let prof = Profiler::enabled();
+        let sim = Simulator::new(plat).with_profiler(prof.clone());
+        let profiled = sim.run(&t).unwrap();
+        assert_eq!(profiled, plain, "profiling must not change simulation");
+
+        let snap = prof.snapshot();
+        let simulate = snap.find(&["simulate"]).expect("root phase");
+        assert_eq!(simulate.count, 1);
+        assert_eq!(simulate.insts, plain.core.instructions);
+        assert_eq!(simulate.cycles, plain.core.cycles);
+        for path in [
+            vec!["simulate", "fetch"],
+            vec!["simulate", "fetch", "decode"],
+            vec!["simulate", "execute"],
+            vec!["simulate", "execute", "mem"],
+            vec!["simulate", "execute", "mem", "l1"],
+            vec!["simulate", "execute", "core"],
+            vec!["simulate", "execute", "core", "deps"],
+        ] {
+            assert!(snap.find(&path).is_some(), "missing phase {path:?}");
+        }
+        let fetch = snap.find(&["simulate", "fetch"]).unwrap();
+        let execute = snap.find(&["simulate", "execute"]).unwrap();
+        assert_eq!(fetch.count, 9000);
+        assert!(execute.count >= 9000);
+        // Chunked fetch + execute cover nearly all of the run.
+        assert!(
+            fetch.total_ns + execute.total_ns >= simulate.total_ns * 9 / 10,
+            "fetch {} + execute {} vs simulate {}",
+            fetch.total_ns,
+            execute.total_ns,
+            simulate.total_ns
+        );
+        // The loop load hits L1 after warmup, so l1 accounts accesses.
+        let l1 = snap.find(&["simulate", "execute", "mem", "l1"]).unwrap();
+        assert!(l1.count > 1000, "l1 accesses recorded: {}", l1.count);
+
+        // A disabled profiler keeps the plain path.
+        let off = Simulator::new(Platform::a53_like()).with_profiler(Profiler::disabled());
+        assert_eq!(off.run(&t).unwrap(), plain);
     }
 
     #[test]

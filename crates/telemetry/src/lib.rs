@@ -12,6 +12,12 @@
 //!   (hand-rolled serialization, like the checkpoint format; the
 //!   vendored `serde` is a no-op shim).
 //!
+//! A third piece, the [`Profiler`], lives beside the `Telemetry` handle
+//! rather than inside it: a hierarchical span-based self-profiler with
+//! the same true-no-op disabled path, used by `racesim profile` and the
+//! perf-snapshot harness to attribute campaign wall time to simulator
+//! phases.
+//!
 //! The default handle is *disabled*: every operation is a branch on a
 //! `None` and nothing allocates, so instrumentation can stay in place
 //! permanently. `Telemetry` is `Clone + Send + Sync`; clones share the
@@ -42,10 +48,12 @@ mod event;
 mod journal;
 mod json;
 mod metrics;
+mod profiler;
 
 pub use event::{Event, JournalEntry, JournalError};
 pub use journal::{parse_journal, read_journal, ParsedJournal};
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot};
+pub use profiler::{PhaseNode, PhaseTimer, ProfileSnapshot, Profiler, Span};
 
 use journal::Buffered;
 use metrics::Registry;

@@ -329,6 +329,86 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket k holds [2^k, 2^(k+1)); the reported percentile is the
+        // bucket's upper bound clamped by the observed max. Probe each
+        // boundary pair (2^k − 1, 2^k) to pin the bucketing rule.
+        for k in 1..63usize {
+            let r = Registry::default();
+            let h = Histogram(Some(r.histogram("b")));
+            let below = (1u64 << k) - 1; // top of bucket k−1
+            let at = 1u64 << k; // bottom of bucket k
+            h.record(below);
+            h.record(at);
+            let s = h.snapshot();
+            assert_eq!(s.count, 2);
+            assert_eq!(s.max, at);
+            // p50 = first sample = top of bucket k−1, which is exactly
+            // `below`; p99 lands in bucket k, clamped to the max.
+            assert_eq!(s.p50, below, "k={k}");
+            assert_eq!(s.p99, at, "k={k}");
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample_percentiles_collapse() {
+        for v in [0u64, 1, 2, 1000, u64::MAX] {
+            let r = Registry::default();
+            let h = Histogram(Some(r.histogram("one")));
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.sum, v);
+            assert_eq!(s.max, v);
+            // With one sample every percentile is that sample (the
+            // bucket bound is clamped by max).
+            assert_eq!((s.p50, s.p90, s.p99), (v, v, v), "v={v}");
+            assert_eq!(s.mean(), v as f64);
+        }
+    }
+
+    #[test]
+    fn histogram_zero_shares_bucket_with_one() {
+        // 0 is clamped into bucket 0 alongside 1; percentiles for an
+        // all-{0,1} population must stay ≤ 1.
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("z")));
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 11);
+        assert_eq!(s.sum, 1);
+        assert_eq!(s.max, 1);
+        assert_eq!((s.p50, s.p99), (1, 1));
+    }
+
+    #[test]
+    fn histogram_top_bucket_holds_u64_max() {
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("top")));
+        h.record(u64::MAX); // bucket 63; upper bound must not overflow
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+        // Sum wraps are the caller's concern; count and max stay exact.
+    }
+
+    #[test]
+    fn empty_histogram_mean_and_percentiles_are_zero() {
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("empty")));
+        let s = h.snapshot();
+        assert_eq!(s, HistSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+    }
+
+    #[test]
     fn snapshot_is_name_ordered() {
         let r = Registry::default();
         r.counter("zeta");

@@ -1,0 +1,72 @@
+//! Proves the disabled path really is a no-op: a disabled `Telemetry`
+//! or `Profiler` handle must never allocate, no matter how hot the
+//! instrumented loop. A counting global allocator measures the delta
+//! around a burst of disabled-path operations.
+//!
+//! This lives in its own integration-test binary because the global
+//! allocator is process-wide and concurrent tests would pollute the
+//! count; keep this file to a single `#[test]`.
+
+use racesim_telemetry::{Profiler, Telemetry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_handles_never_allocate() {
+    // Construct every handle up front; only the loop below is measured.
+    let telemetry = Telemetry::disabled();
+    let counter = telemetry.counter("sim.instructions");
+    let gauge = telemetry.gauge("sim.cycles");
+    let histogram = telemetry.histogram("sim.run_us");
+    let profiler = Profiler::disabled();
+    let timer = profiler.timer("simulate");
+    let child = timer.child("fetch");
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.add(i);
+        gauge.set(i);
+        histogram.record(i);
+        let span = profiler.enter("run");
+        span.add_insts(i);
+        span.add_cycles(i);
+        drop(span);
+        let derived = timer.child("decode");
+        derived.record_ns(i);
+        child.add(1, i);
+        child.add_insts(i);
+        timer.time(|| i.wrapping_mul(3));
+        assert_eq!(telemetry.stopwatch().elapsed_us(), 0);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-path telemetry/profiler ops allocated"
+    );
+    // And they recorded nothing.
+    assert_eq!(counter.get(), 0);
+    assert_eq!(
+        profiler.snapshot(),
+        racesim_telemetry::ProfileSnapshot::default()
+    );
+}

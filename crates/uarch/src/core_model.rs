@@ -21,4 +21,20 @@ pub trait CoreModel: std::fmt::Debug + Send {
     /// Statistics accumulated so far ([`CoreModel::finish`] must have been
     /// called for the final cycle count to be exact).
     fn stats(&self) -> CoreStats;
+
+    /// Enables (or disables) per-phase stall-cycle accounting. Off by
+    /// default; when off, [`CoreModel::phase_cycles`] returns nothing
+    /// and the timing loop pays at most one extra branch per
+    /// instruction. The default implementation ignores the request, so
+    /// models without accounting stay zero-cost.
+    fn set_phase_accounting(&mut self, _on: bool) {}
+
+    /// Simulated cycles attributed to each stall/latency phase since
+    /// construction, as `(phase name, cycles)` pairs. These are
+    /// *attribution weights* for the self-profiler, not a partition of
+    /// the cycle count: overlapping stalls can be counted under more
+    /// than one phase. Empty when accounting is off or unsupported.
+    fn phase_cycles(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }

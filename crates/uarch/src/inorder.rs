@@ -32,6 +32,19 @@ struct IssueSlots {
     alu: u8,
 }
 
+/// Per-cause stall-cycle attribution for the self-profiler (see
+/// [`CoreModel::phase_cycles`]). Only accumulated when accounting is
+/// switched on.
+#[derive(Debug, Default, Clone, Copy)]
+struct InOrderPhases {
+    frontend: u64,
+    deps: u64,
+    store_buffer: u64,
+    issue: u64,
+    mem: u64,
+    branch: u64,
+}
+
 /// The in-order core model.
 #[derive(Debug)]
 pub struct InOrderCore {
@@ -63,6 +76,8 @@ pub struct InOrderCore {
     store_drain: u64,
 
     stats: CoreStats,
+    phase_acct: bool,
+    phases: InOrderPhases,
 }
 
 impl InOrderCore {
@@ -93,6 +108,8 @@ impl InOrderCore {
             store_buffer: VecDeque::new(),
             store_drain: 0,
             stats: CoreStats::default(),
+            phase_acct: false,
+            phases: InOrderPhases::default(),
         }
     }
 
@@ -196,13 +213,16 @@ impl CoreModel for InOrderCore {
         }
         self.stats.instructions += 1;
 
+        let prev_issue = self.last_issue;
         let f = self.fetch(inst.pc, mem);
         let mut earliest = (f + self.frontend_depth).max(self.last_issue);
+        let after_frontend = earliest;
 
         // Register dependences.
         for &src in inst.stat.sources() {
             earliest = earliest.max(self.reg_ready[src.index()]);
         }
+        let after_deps = earliest;
 
         // A full store buffer stalls the next store until its head drains;
         // barriers wait for it to empty.
@@ -219,8 +239,17 @@ impl CoreModel for InOrderCore {
             self.store_buffer.clear();
         }
 
+        let after_store = earliest;
         let issue = self.take_slot(earliest, class);
         self.last_issue = issue;
+        if self.phase_acct {
+            // Each max() above only ever pushes the issue point later,
+            // so consecutive differences attribute the push per cause.
+            self.phases.frontend += after_frontend - prev_issue;
+            self.phases.deps += after_deps - after_frontend;
+            self.phases.store_buffer += after_store - after_deps;
+            self.phases.issue += issue - after_store;
+        }
 
         // Execute.
         let complete = match class {
@@ -246,6 +275,9 @@ impl CoreModel for InOrderCore {
                     BranchResolution::Mispredict => {
                         self.fetch_cycle = resolve + self.branch_unit.mispredict_penalty;
                         self.cur_line = u64::MAX; // refetch after the flush
+                        if self.phase_acct {
+                            self.phases.branch += self.branch_unit.mispredict_penalty;
+                        }
                     }
                     BranchResolution::BtbMiss => {
                         self.fetch_cycle = self
@@ -268,6 +300,12 @@ impl CoreModel for InOrderCore {
             }
         }
 
+        if self.phase_acct && class == InstClass::Load {
+            // Load-to-use latency (the dependent-consumer view of the
+            // memory system).
+            self.phases.mem += complete - issue;
+        }
+
         for &dst in inst.stat.dests() {
             self.reg_ready[dst.index()] = complete;
         }
@@ -286,6 +324,25 @@ impl CoreModel for InOrderCore {
         let mut s = self.stats;
         s.branch = self.branch_unit.stats();
         s
+    }
+
+    fn set_phase_accounting(&mut self, on: bool) {
+        self.phase_acct = on;
+    }
+
+    fn phase_cycles(&self) -> Vec<(&'static str, u64)> {
+        if !self.phase_acct {
+            return Vec::new();
+        }
+        let p = &self.phases;
+        vec![
+            ("frontend", p.frontend),
+            ("deps", p.deps),
+            ("store_buffer", p.store_buffer),
+            ("issue", p.issue),
+            ("mem", p.mem),
+            ("branch", p.branch),
+        ]
     }
 }
 
@@ -504,6 +561,81 @@ mod tests {
         let (s, mem) = run_cold(&insts);
         assert!(mem.stats().l1i.misses >= 31, "{:?}", mem.stats().l1i);
         assert!(s.cpi() > 2.0, "cold icache hurts: {}", s.cpi());
+    }
+
+    #[test]
+    fn phase_accounting_attributes_stalls() {
+        // Off by default: no phases reported.
+        let core = InOrderCore::new(&CoreConfig::in_order_default());
+        assert!(core.phase_cycles().is_empty());
+
+        // A serial dependence chain books cycles under "deps".
+        let chain = dyns(|a| {
+            for _ in 0..100 {
+                a.addi(Reg::x(0), Reg::x(0), 1);
+            }
+        });
+        let mut core = InOrderCore::new(&CoreConfig::in_order_default());
+        core.set_phase_accounting(true);
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in &chain {
+            mem.prefill_code(i.pc);
+        }
+        for i in &chain {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        let phases = core.phase_cycles();
+        let get = |n: &str| phases.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
+        assert!(get("deps").unwrap() > 0, "{phases:?}");
+
+        // A pointer chase books cycles under "mem".
+        let mut loads = dyns(|a| {
+            for _ in 0..50 {
+                a.ldr8(Reg::x(1), Reg::x(1), 0);
+            }
+        });
+        for (k, i) in loads.iter_mut().enumerate() {
+            i.ea = 0x10_0000 + (k as u64) * 8192;
+        }
+        let mut core = InOrderCore::new(&CoreConfig::in_order_default());
+        core.set_phase_accounting(true);
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in &loads {
+            mem.prefill_code(i.pc);
+        }
+        for i in &loads {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        let phases = core.phase_cycles();
+        let mem_cycles = phases.iter().find(|(k, _)| *k == "mem").unwrap().1;
+        let deps = phases.iter().find(|(k, _)| *k == "deps").unwrap().1;
+        assert!(
+            mem_cycles > 100 && deps > 100,
+            "chase is memory- and dependence-bound: {phases:?}"
+        );
+    }
+
+    #[test]
+    fn phase_accounting_does_not_change_timing() {
+        let insts = dyns(|a| {
+            for i in 0..200u8 {
+                a.addi(Reg::x(i % 20), Reg::x((i + 1) % 20), 1);
+            }
+        });
+        let (plain, _) = run(&insts);
+        let mut core = InOrderCore::new(&CoreConfig::in_order_default());
+        core.set_phase_accounting(true);
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in &insts {
+            mem.prefill_code(i.pc);
+        }
+        for i in &insts {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        assert_eq!(core.stats(), plain, "accounting must be observation-only");
     }
 
     #[test]

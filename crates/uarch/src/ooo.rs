@@ -137,6 +137,19 @@ struct InFlightStore {
     drain: u64,
 }
 
+/// Per-cause stall-cycle attribution for the self-profiler (see
+/// [`CoreModel::phase_cycles`]). Only accumulated when accounting is
+/// switched on.
+#[derive(Debug, Default, Clone, Copy)]
+struct OooPhases {
+    frontend: u64,
+    dispatch: u64,
+    deps: u64,
+    ports: u64,
+    mem: u64,
+    branch: u64,
+}
+
 /// The out-of-order core model.
 #[derive(Debug)]
 pub struct OooCore {
@@ -174,6 +187,8 @@ pub struct OooCore {
     sq_cap: usize,
 
     stats: CoreStats,
+    phase_acct: bool,
+    phases: OooPhases,
 }
 
 impl OooCore {
@@ -209,6 +224,8 @@ impl OooCore {
             stores: VecDeque::new(),
             sq_cap: p.sq_entries as usize,
             stats: CoreStats::default(),
+            phase_acct: false,
+            phases: OooPhases::default(),
         }
     }
 
@@ -220,6 +237,10 @@ impl OooCore {
             let extra = r.latency.saturating_sub(mem.l1i_hit_latency());
             self.line_ready = self.fetch_cycle + extra;
             self.cur_line = line;
+            if self.phase_acct {
+                // I-cache miss stall beyond the pipelined hit latency.
+                self.phases.frontend += extra;
+            }
         }
         let f = self.fetch_bw.admit(self.fetch_cycle.max(self.line_ready));
         self.fetch_cycle = f;
@@ -258,7 +279,8 @@ impl CoreModel for OooCore {
         let mut d = f + self.frontend_depth;
 
         // --- Dispatch: needs ROB + IQ (+ LQ/SQ) entries and bandwidth ---
-        d = d.max(self.last_dispatch); // in-order dispatch
+        let pre_dispatch = d.max(self.last_dispatch);
+        d = pre_dispatch; // in-order dispatch
         d = self.rob.available_at(d);
         d = self.iq.available_at(d);
         if class == InstClass::Load {
@@ -268,11 +290,18 @@ impl CoreModel for OooCore {
         }
         let d = self.dispatch_bw.admit(d);
         self.last_dispatch = d;
+        if self.phase_acct {
+            // Window (ROB/IQ/LQ/SQ) and bandwidth back-pressure.
+            self.phases.dispatch += d - pre_dispatch;
+        }
 
         // --- Issue: operands + a port ----------------------------------
         let mut ready = d + 1;
         for &src in inst.stat.sources() {
             ready = ready.max(self.reg_ready[src.index()]);
+        }
+        if self.phase_acct {
+            self.phases.deps += ready - (d + 1);
         }
 
         let exec_lat = self.lat.of(class);
@@ -313,6 +342,9 @@ impl CoreModel for OooCore {
                     BranchResolution::Mispredict => {
                         self.fetch_cycle = resolve + self.branch_unit.mispredict_penalty;
                         self.cur_line = u64::MAX;
+                        if self.phase_acct {
+                            self.phases.branch += self.branch_unit.mispredict_penalty;
+                        }
                     }
                     BranchResolution::BtbMiss => {
                         self.fetch_cycle = self
@@ -353,6 +385,14 @@ impl CoreModel for OooCore {
             }
         };
 
+        if self.phase_acct {
+            // Port contention plus, for loads, the load-to-use latency.
+            self.phases.ports += issue - ready;
+            if class == InstClass::Load {
+                self.phases.mem += complete - issue;
+            }
+        }
+
         for &dst in inst.stat.dests() {
             self.reg_ready[dst.index()] = complete;
         }
@@ -382,6 +422,25 @@ impl CoreModel for OooCore {
         let mut s = self.stats;
         s.branch = self.branch_unit.stats();
         s
+    }
+
+    fn set_phase_accounting(&mut self, on: bool) {
+        self.phase_acct = on;
+    }
+
+    fn phase_cycles(&self) -> Vec<(&'static str, u64)> {
+        if !self.phase_acct {
+            return Vec::new();
+        }
+        let p = &self.phases;
+        vec![
+            ("frontend", p.frontend),
+            ("dispatch", p.dispatch),
+            ("deps", p.deps),
+            ("ports", p.ports),
+            ("mem", p.mem),
+            ("branch", p.branch),
+        ]
     }
 }
 
@@ -613,6 +672,39 @@ mod tests {
             s_p.cycles,
             s_b.cycles
         );
+    }
+
+    #[test]
+    fn phase_accounting_attributes_stalls() {
+        let core = OooCore::new(&CoreConfig::out_of_order_default());
+        assert!(core.phase_cycles().is_empty(), "off by default");
+
+        // A pointer chase books cycles under "mem" and "deps"; the
+        // timing itself must be identical with accounting on.
+        let mut insts = dyns(|a| {
+            for _ in 0..40 {
+                a.ldr8(Reg::x(1), Reg::x(1), 0);
+            }
+        });
+        for (k, i) in insts.iter_mut().enumerate() {
+            i.ea = 0x100_0000 + (k as u64) * 8192;
+        }
+        let (plain, _) = run(&insts);
+        let mut core = OooCore::new(&CoreConfig::out_of_order_default());
+        core.set_phase_accounting(true);
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        for i in &insts {
+            mem.prefill_code(i.pc);
+        }
+        for i in &insts {
+            core.consume(i, &mut mem);
+        }
+        core.finish(&mut mem);
+        assert_eq!(core.stats(), plain, "accounting must be observation-only");
+        let phases = core.phase_cycles();
+        let get = |n: &str| phases.iter().find(|(k, _)| *k == n).unwrap().1;
+        assert!(get("mem") > 1000, "{phases:?}");
+        assert!(get("deps") > 1000, "{phases:?}");
     }
 
     #[test]
