@@ -9,18 +9,21 @@
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
 //! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS] [--telemetry F]
 //! racesim report   <JOURNAL> [--json]
+//! racesim replay   <JOURNAL> [--json]
+//! racesim diff     [--core a53] [--revision-a REV] [--revision-b REV] [--tolerance PCT]
 //! racesim profile  [--suite micro|spec|all] [--workload NAME] [--json] [--folded FILE]
 //! racesim lint     [--json] [--suite] [--revision fixed|initial]
 //! ```
 
 use racesim_core::{
-    analysis, latency, report, LazySuiteCost, Revision, Validator, ValidatorSettings,
+    analysis, diff, latency, report, CampaignSpec, Revision, Validator, ValidatorSettings,
 };
-use racesim_hw::{FaultPlan, FaultyBoard, HardwarePlatform, ReferenceBoard};
+use racesim_hw::{FaultPlan, HardwarePlatform, ReferenceBoard};
 use racesim_kernels::{microbench_suite, probes, spec_suite, Scale, Workload};
+use racesim_race::replay::{compare, RecordedCampaign, Verdict};
 use racesim_race::{RaceSettings, RacingTuner, TryCostFn, TunerSettings, Value, Watchdog};
 use racesim_sim::{config_text, Platform, Simulator};
-use racesim_telemetry::{read_journal, Event, JournalEntry, Telemetry};
+use racesim_telemetry::{parse_journal, read_journal_lossy, Event, JournalEntry, Telemetry};
 use racesim_uarch::CoreKind;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -43,6 +46,10 @@ COMMANDS:
     validate                      run the full validation methodology and save the tuned model
     tune                          fault-tolerant tuning with checkpoint/resume and fault injection
     report <JOURNAL>              summarize a telemetry journal written by `tune --telemetry`
+    replay <JOURNAL>              re-run the campaign a journal records and verify, bit for bit,
+                                  that the replay reproduces the recorded outcome
+    diff                          per-kernel CPI comparison between two model revisions,
+                                  platform configs, or saved baselines (the regression gate)
     profile                       self-profile the simulator: per-kernel phase tree of where
                                   wall time goes (fetch/decode/execute, memory levels, stalls)
     lint                          statically check platforms, parameter spaces and kernels
@@ -80,6 +87,23 @@ TUNE OPTIONS:
 
 REPORT OPTIONS:
     --json                        machine-readable campaign summary (stable schema)
+
+REPLAY OPTIONS:
+    --json                        machine-readable divergence report (stable schema)
+                                  exit code: 0 = match or verified prefix, 1 = diverged
+
+DIFF OPTIONS:
+    --core <a53|a72>              core whose suite is captured (default a53)
+    --revision-a <fixed|initial>  model revision of side A (default fixed)
+    --revision-b <fixed|initial>  model revision of side B (default fixed)
+    --a <FILE>                    side A from a file instead: a saved CPI baseline
+                                  (see --save) or a platform config
+    --b <FILE>                    side B from a file instead
+    --tolerance <PCT>             allowed per-kernel CPI divergence in percent
+                                  (default 0 = bit-identical CPI required)
+    --save <FILE>                 also write side B as a baseline file for later diffs
+    --json                        machine-readable diff (stable schema)
+                                  exit code: 0 = within tolerance, 1 = diverged
 
 PROFILE OPTIONS:
     --suite <micro|spec|all>      which kernel suite to profile (default micro)
@@ -318,14 +342,8 @@ fn parse_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result
 
 fn fault_plan_of(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
     let seed = parse_u64(flags, "fault-seed", 1)?;
-    match flags.get("faults").map(String::as_str) {
-        None | Some("none") => Ok(None),
-        Some("transient") => Ok(Some(FaultPlan::transient(seed, 0.10))),
-        Some("aggressive") => Ok(Some(FaultPlan::aggressive(seed))),
-        Some(v) => Err(format!(
-            "unknown fault profile {v:?} (use none, transient or aggressive)"
-        )),
-    }
+    let profile = flags.get("faults").map_or("none", String::as_str);
+    FaultPlan::from_profile(profile, seed)
 }
 
 /// Flushes a telemetry journal when dropped, so every exit path of
@@ -347,40 +365,35 @@ impl Drop for FlushGuard {
 /// Latency probes run on the clean board; the `--faults` plan targets the
 /// long campaign, which is where real boards fall over.
 fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
-    let kind = core_of(flags)?;
-    let board = match kind {
-        CoreKind::InOrder => ReferenceBoard::firefly_a53(),
-        CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
-    };
-    let settings = ValidatorSettings {
-        kind,
-        revision: Revision::Fixed,
+    let mut spec = CampaignSpec {
+        kind: core_of(flags)?,
         scale: scale_of(flags)?,
-        tuner: TunerSettings {
-            budget: parse_u64(flags, "budget", 2_000)?,
-            seed: parse_u64(flags, "seed", TunerSettings::default().seed)?,
-            threads: match parse_u64(flags, "threads", 0)? {
-                0 => std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(4),
-                n => n as usize,
-            },
-            max_iterations: flags
-                .get("max-iterations")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| format!("invalid --max-iterations {v:?}"))
-                })
-                .transpose()?,
-            ..TunerSettings::default()
+        budget: parse_u64(flags, "budget", 2_000)?,
+        seed: parse_u64(flags, "seed", TunerSettings::default().seed)?,
+        threads: match parse_u64(flags, "threads", 0)? {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            n => n as usize,
         },
-        metric: racesim_core::CostMetric::CpiError,
+        max_iterations: flags
+            .get("max-iterations")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid --max-iterations {v:?}"))
+            })
+            .transpose()?,
+        timeout_ms: flags
+            .get("timeout")
+            .map(|v| v.parse().map_err(|_| format!("invalid --timeout {v:?}")))
+            .transpose()?,
+        fault_profile: flags
+            .get("faults")
+            .cloned()
+            .unwrap_or_else(|| "none".to_string()),
+        fault_seed: parse_u64(flags, "fault-seed", 1)?,
+        frozen: Vec::new(),
     };
-    let v = Validator::new(&board, settings.clone());
-    let base = v.base_platform().map_err(|e| e.to_string())?;
-    let space = racesim_core::params::build_space(kind, settings.revision);
-    let decoder = v.decoder();
-    let suite = v.suite();
 
     // One telemetry handle threads through the whole stack: tuner, cost
     // function, board and (per evaluation) simulators all share it. When
@@ -402,44 +415,33 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let _flush = FlushGuard(telemetry.clone());
 
-    let base_board = match kind {
-        CoreKind::InOrder => ReferenceBoard::firefly_a53(),
-        CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+    if let Some(plan) = fault_plan_of(flags)? {
+        println!(
+            "injecting faults: {:.0}% transient, {:.0}% dropped, {:.0}% spiked, {:.0}% hung",
+            100.0 * plan.transient_rate,
+            100.0 * plan.drop_rate,
+            100.0 * plan.spike_rate,
+            100.0 * plan.hang_rate
+        );
     }
-    .with_telemetry(telemetry.clone());
-    let tune_board: Arc<dyn HardwarePlatform> = match fault_plan_of(flags)? {
-        Some(plan) => {
-            println!(
-                "injecting faults: {:.0}% transient, {:.0}% dropped, {:.0}% spiked, {:.0}% hung",
-                100.0 * plan.transient_rate,
-                100.0 * plan.drop_rate,
-                100.0 * plan.spike_rate,
-                100.0 * plan.hang_rate
-            );
-            Arc::new(FaultyBoard::new(base_board, plan).with_telemetry(telemetry.clone()))
-        }
-        None => Arc::new(base_board),
-    };
-    let cost = Arc::new(
-        LazySuiteCost::new(tune_board, &suite, base.clone(), decoder, settings.metric)
-            .map_err(|e| e.to_string())?
-            .with_telemetry(telemetry.clone()),
-    );
-    let n_instances = cost.len();
+    let stack = spec.build_stack(&telemetry)?;
+    let n_instances = stack.cost.len();
 
-    let mut tuner = RacingTuner::new(settings.tuner).with_telemetry(telemetry.clone());
+    let mut tuner = RacingTuner::new(spec.tuner_settings()).with_telemetry(telemetry.clone());
 
     // Coverage-based pruning: a dimension no benchmark in the suite can
     // statically observe cannot move the cost, so pin it to its default
     // before any budget is spent. The dimension stays in the space (the
     // model applier reads every parameter and checkpoint fingerprints
     // must stay valid) — the sampler just never varies it.
-    let profiles: Vec<_> = suite
+    let profiles: Vec<_> = stack
+        .suite
         .iter()
         .map(|w| racesim_analyzer::ir::profile(&w.name, &w.program))
         .collect();
-    let matrix = racesim_analyzer::coverage::CoverageMatrix::build(&space, &profiles, &base);
-    let defaults = space.default_configuration();
+    let matrix =
+        racesim_analyzer::coverage::CoverageMatrix::build(&stack.space, &profiles, &stack.base);
+    let defaults = stack.space.default_configuration();
     let frozen: Vec<(usize, Value)> = matrix
         .params
         .iter()
@@ -454,8 +456,18 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
             (i, defaults.value(i))
         })
         .collect();
+    spec.set_frozen(&stack.space, &frozen);
     if !frozen.is_empty() {
         tuner = tuner.with_frozen(frozen);
+    }
+
+    // Record the campaign's deterministic inputs so `racesim replay` can
+    // rebuild the exact stack from the journal alone. Every segment
+    // (fresh or resumed) re-records them; the first occurrence wins on
+    // read, so a resume with drifted flags cannot silently rewrite them.
+    telemetry.emit(spec.config_event());
+    for ev in spec.frozen_events() {
+        telemetry.emit(ev);
     }
 
     if let Some(path) = flags.get("checkpoint") {
@@ -467,19 +479,18 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     println!(
-        "tuning the {kind} model over {n_instances} benchmarks (budget {}, seed {:#x}) ...",
-        settings.tuner.budget, settings.tuner.seed
+        "tuning the {} model over {n_instances} benchmarks (budget {}, seed {:#x}) ...",
+        spec.kind, spec.budget, spec.seed
     );
-    let result = match flags.get("timeout") {
-        Some(v) => {
-            let ms: u64 = v.parse().map_err(|_| format!("invalid --timeout {v:?}"))?;
+    let result = match spec.timeout_ms {
+        Some(ms) => {
             let dog = Watchdog::new(
-                Arc::clone(&cost) as Arc<dyn TryCostFn + Send + Sync>,
+                Arc::clone(&stack.cost) as Arc<dyn TryCostFn + Send + Sync>,
                 Duration::from_millis(ms),
             );
-            tuner.try_tune(&space, &dog, n_instances)
+            tuner.try_tune(&stack.space, &dog, n_instances)
         }
-        None => tuner.try_tune(&space, &*cost, n_instances),
+        None => tuner.try_tune(&stack.space, &*stack.cost, n_instances),
     };
 
     for w in &result.warnings {
@@ -495,11 +506,11 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     for (instance, reason) in &result.quarantined {
         println!(
             "quarantined instance {instance} ({}): {reason}",
-            cost.name(*instance)
+            stack.cost.name(*instance)
         );
     }
     if let Some(path) = flags.get("out") {
-        let tuned = racesim_core::params::apply(&space, &result.best, &base);
+        let tuned = racesim_core::params::apply(&stack.space, &result.best, &stack.base);
         std::fs::write(path, config_text::to_text(&tuned))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("tuned configuration written to {path}");
@@ -524,6 +535,11 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
 struct CampaignSummary {
     segments: usize,
     resumes: usize,
+    /// core, scale divisor, fault profile, fault seed — from the first
+    /// `campaign_config` (journals predating replay support have none).
+    config: Option<(String, u64, String, u64)>,
+    /// Dimensions pinned before sampling, as (param, value code).
+    frozen: Vec<(String, String)>,
     /// seed, budget, instances, params — from the first `campaign_start`.
     start: Option<(u64, usize, usize, usize)>,
     /// best_cost, evals, retries, failed, pruned, aborted — last `campaign_end`.
@@ -567,6 +583,22 @@ impl CampaignSummary {
                     s.segments += 1;
                     if s.start.is_none() {
                         s.start = Some((*seed, *budget, *n_instances, *n_params));
+                    }
+                }
+                Event::CampaignConfig {
+                    core,
+                    scale,
+                    faults,
+                    fault_seed,
+                    ..
+                } => {
+                    if s.config.is_none() {
+                        s.config = Some((core.clone(), *scale, faults.clone(), *fault_seed));
+                    }
+                }
+                Event::Frozen { param, code } => {
+                    if !s.frozen.iter().any(|(p, _)| p == param) {
+                        s.frozen.push((param.clone(), code.clone()));
                     }
                 }
                 Event::Resume { .. } => s.resumes += 1,
@@ -671,6 +703,12 @@ impl CampaignSummary {
         let mut out = String::new();
         let kv = |k: &str, v: String| vec![k.to_string(), v];
         let mut rows = Vec::new();
+        if let Some((core, scale, faults, fault_seed)) = &self.config {
+            rows.push(kv("core", core.clone()));
+            rows.push(kv("scale", format!("1/{scale}")));
+            rows.push(kv("faults", format!("{faults} (seed {fault_seed})")));
+            rows.push(kv("frozen dims", self.frozen.len().to_string()));
+        }
         if let Some((seed, budget, instances, params)) = self.start {
             rows.push(kv("seed", format!("{seed:#x}")));
             rows.push(kv("budget", budget.to_string()));
@@ -899,6 +937,21 @@ impl CampaignSummary {
             format!("{{{}}}", body.join(","))
         }
         let mut parts = Vec::new();
+        match &self.config {
+            Some((core, scale, faults, fault_seed)) => {
+                parts.push(format!("\"core\":{}", esc(core)));
+                parts.push(format!("\"scale\":{scale}"));
+                parts.push(format!("\"faults\":{}", esc(faults)));
+                parts.push(format!("\"fault_seed\":{fault_seed}"));
+            }
+            None => parts.push("\"core\":null".to_string()),
+        }
+        let frozen: Vec<String> = self
+            .frozen
+            .iter()
+            .map(|(p, c)| format!("{}:{}", esc(p), esc(c)))
+            .collect();
+        parts.push(format!("\"frozen\":{{{}}}", frozen.join(",")));
         match self.start {
             Some((seed, budget, instances, params)) => {
                 parts.push(format!("\"seed\":{seed}"));
@@ -971,10 +1024,10 @@ impl CampaignSummary {
 /// reported as warnings; everything before them still renders.
 fn cmd_report(journal: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let path = PathBuf::from(journal);
-    let (entries, errors) =
-        read_journal(&path).map_err(|e| format!("cannot read {journal}: {e}"))?;
-    for (line, e) in &errors {
-        eprintln!("warning: {journal}:{line}: {e}");
+    let (entries, warnings) =
+        read_journal_lossy(&path).map_err(|e| format!("cannot read {journal}: {e}"))?;
+    for w in &warnings {
+        eprintln!("warning: {journal}: {w}");
     }
     if entries.is_empty() {
         return Err(format!("{journal}: no journal entries"));
@@ -986,6 +1039,158 @@ fn cmd_report(journal: &str, flags: &HashMap<String, String>) -> Result<(), Stri
         print!("{}", summary.render_text());
     }
     Ok(())
+}
+
+/// `racesim replay`: re-run the campaign a telemetry journal records —
+/// same seed, budget, scale, fault plan and frozen dimensions, rebuilt
+/// from the journal alone — and verify that the replay reproduces the
+/// recorded outcome bit for bit (survivor sets, elimination order, best
+/// costs as f64 bit patterns). Exit code 1 on divergence, with a report
+/// pinpointing the first mismatch.
+fn cmd_replay(journal: &str, flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let path = PathBuf::from(journal);
+    let (entries, warnings) =
+        read_journal_lossy(&path).map_err(|e| format!("cannot read {journal}: {e}"))?;
+    for w in &warnings {
+        eprintln!("warning: {journal}: {w}");
+    }
+    if entries.is_empty() {
+        return Err(format!("{journal}: no journal entries"));
+    }
+    let recorded = RecordedCampaign::digest(&entries).map_err(|e| format!("{journal}: {e}"))?;
+    let spec = CampaignSpec::from_journal(&entries).map_err(|e| format!("{journal}: {e}"))?;
+    eprintln!(
+        "replaying the recorded {} campaign: scale 1/{}, budget {}, seed {:#x}, faults {} \
+         (seed {}), {} frozen dimension(s) ...",
+        spec.core_name(),
+        spec.scale.divisor(),
+        spec.budget,
+        spec.seed,
+        spec.fault_profile,
+        spec.fault_seed,
+        spec.frozen.len()
+    );
+
+    let t = Telemetry::in_memory();
+    spec.run(&t)?;
+    t.flush();
+    let text = t.lines().join("\n");
+    let (fresh, errors) = parse_journal(&text);
+    if let Some((line, e)) = errors.first() {
+        return Err(format!("replay journal line {line} unparseable: {e}"));
+    }
+    let replayed = RecordedCampaign::digest(&fresh).map_err(|e| format!("replay journal: {e}"))?;
+
+    let report = compare(&recorded, &replayed);
+    if flags.get("json").is_some() {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(match report.verdict {
+        Verdict::Diverged => ExitCode::FAILURE,
+        Verdict::Match | Verdict::PrefixMatch => ExitCode::SUCCESS,
+    })
+}
+
+fn revision_of(flags: &HashMap<String, String>, key: &str) -> Result<Revision, String> {
+    match flags.get(key).map(String::as_str) {
+        Some("fixed") | None => Ok(Revision::Fixed),
+        Some("initial") => Ok(Revision::Initial),
+        Some(v) => Err(format!("unknown --{key} {v:?} (use fixed or initial)")),
+    }
+}
+
+/// One side of a `racesim diff`: either a fresh capture of a model
+/// revision, or a file — a saved CPI baseline or a platform config.
+fn diff_side(
+    flags: &HashMap<String, String>,
+    file_key: &str,
+    rev_key: &str,
+    kind: CoreKind,
+    scale: Scale,
+) -> Result<(String, Vec<diff::KernelCpi>), String> {
+    if let Some(path) = flags.get(file_key) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if diff::is_baseline(&text) {
+            let (label, records) = parse_baseline_labeled(path, &text)?;
+            return Ok((label, records));
+        }
+        // A platform config: simulate the fixed-revision suite on it.
+        let platform =
+            config_text::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let board = match kind {
+            CoreKind::InOrder => ReferenceBoard::firefly_a53(),
+            CoreKind::OutOfOrder => ReferenceBoard::firefly_a72(),
+        };
+        let settings = ValidatorSettings {
+            kind,
+            revision: Revision::Fixed,
+            scale,
+            tuner: TunerSettings::default(),
+            metric: racesim_core::CostMetric::CpiError,
+        };
+        let v = Validator::new(&board, settings);
+        let records = diff::capture_platform(&platform, v.decoder(), &v.suite())?;
+        return Ok((path.clone(), records));
+    }
+    let revision = revision_of(flags, rev_key)?;
+    let label = format!(
+        "{}/{}",
+        match kind {
+            CoreKind::InOrder => "a53",
+            CoreKind::OutOfOrder => "a72",
+        },
+        match revision {
+            Revision::Fixed => "fixed",
+            Revision::Initial => "initial",
+        }
+    );
+    Ok((label, diff::capture_revision(kind, revision, scale)?))
+}
+
+fn parse_baseline_labeled(
+    path: &str,
+    text: &str,
+) -> Result<(String, Vec<diff::KernelCpi>), String> {
+    let (label, records) = diff::parse_baseline(text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((format!("{label} ({path})"), records))
+}
+
+/// `racesim diff`: the differential regression harness. Captures the
+/// per-kernel CPI of two model revisions (DESIGN §6b), two platform
+/// configs, or a saved baseline vs the current build — integer cycle
+/// counters throughout, so "no divergence" means bit-identical CPI —
+/// and exits non-zero when any kernel moves beyond `--tolerance`.
+fn cmd_diff(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let kind = core_of(flags)?;
+    let scale = scale_of(flags)?;
+    let tolerance: f64 = match flags.get("tolerance") {
+        None => 0.0,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("invalid --tolerance {v:?}"))?,
+    };
+    let (label_a, a) = diff_side(flags, "a", "revision-a", kind, scale)?;
+    let (label_b, b) = diff_side(flags, "b", "revision-b", kind, scale)?;
+    if let Some(path) = flags.get("save") {
+        std::fs::write(path, diff::render_baseline(&label_b, &b))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("baseline ({label_b}) written to {path}");
+    }
+    let d = diff::diff_records(&label_a, &a, &label_b, &b, tolerance);
+    if flags.get("json").is_some() {
+        println!("{}", d.render_json());
+    } else {
+        print!("{}", d.render_text());
+    }
+    Ok(if d.has_divergence() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// One kernel's self-profile: what the simulator measured about itself.
@@ -1268,15 +1473,16 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `report` takes one positional operand (the journal path); every
-    // other command is flags-only.
+    // `report` and `replay` take one positional operand (the journal
+    // path); every other command is flags-only.
     let mut positional = None;
-    let flag_args = if cmd == "report" && args.len() >= 2 && !args[1].starts_with("--") {
-        positional = Some(args[1].clone());
-        &args[2..]
-    } else {
-        &args[1..]
-    };
+    let flag_args =
+        if (cmd == "report" || cmd == "replay") && args.len() >= 2 && !args[1].starts_with("--") {
+            positional = Some(args[1].clone());
+            &args[2..]
+        } else {
+            &args[1..]
+        };
     let bool_flags = if cmd == "lint" {
         LINT_BOOL_FLAGS
     } else {
@@ -1301,6 +1507,30 @@ fn main() -> ExitCode {
             Some(journal) => cmd_report(journal, &flags),
             None => Err("report needs a journal path: racesim report <FILE> [--json]".to_string()),
         },
+        "replay" => {
+            let r = match &positional {
+                Some(journal) => cmd_replay(journal, &flags),
+                None => {
+                    Err("replay needs a journal path: racesim replay <FILE> [--json]".to_string())
+                }
+            };
+            return match r {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "diff" => {
+            return match cmd_diff(&flags) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "profile" => cmd_profile(&flags),
         "lint" => {
             return match cmd_lint(&flags) {
@@ -1369,7 +1599,7 @@ mod tests {
             Err("simulated failure".to_string())
         };
         assert!(early_return().is_err());
-        let (entries, errors) = read_journal(&path).expect("journal readable");
+        let (entries, errors) = read_journal_lossy(&path).expect("journal readable");
         assert!(errors.is_empty(), "no torn lines: {errors:?}");
         assert_eq!(entries.len(), 1, "the buffered event was flushed");
         let _ = std::fs::remove_file(&path);

@@ -27,6 +27,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod campaign;
+pub mod diff;
 pub mod fallible;
 pub mod latency;
 pub mod params;
@@ -35,6 +37,8 @@ pub mod pipeline;
 pub mod report;
 pub mod validator;
 
+pub use campaign::{CampaignSpec, CampaignStack};
+pub use diff::{diff_records, CpiDiff, DiffRow, KernelCpi};
 pub use fallible::LazySuiteCost;
 pub use params::Revision;
 pub use racesim_sim::Platform;

@@ -88,6 +88,25 @@ impl FaultPlan {
         }
     }
 
+    /// Builds the plan a named CLI profile denotes, so a recorded
+    /// campaign (`campaign_config.faults` in the journal) reconstructs
+    /// the exact same fault schedule on replay. `Ok(None)` means no
+    /// fault injection at all.
+    ///
+    /// # Errors
+    ///
+    /// Unknown profile names are rejected with the accepted spellings.
+    pub fn from_profile(profile: &str, seed: u64) -> Result<Option<FaultPlan>, String> {
+        match profile {
+            "none" => Ok(None),
+            "transient" => Ok(Some(FaultPlan::transient(seed, 0.10))),
+            "aggressive" => Ok(Some(FaultPlan::aggressive(seed))),
+            other => Err(format!(
+                "unknown fault profile {other:?} (use none, transient or aggressive)"
+            )),
+        }
+    }
+
     /// FNV-1a over the seed, a decision tag, the workload name, and the
     /// attempt number, mapped to `[0, 1)`.
     fn roll(&self, tag: u8, name: &str, attempt: u64) -> f64 {
@@ -273,6 +292,20 @@ mod tests {
 
     fn workload() -> Workload {
         microbench_suite(Scale::TINY).into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn profiles_reconstruct_the_exact_plan() {
+        assert_eq!(FaultPlan::from_profile("none", 9).unwrap(), None);
+        assert_eq!(
+            FaultPlan::from_profile("transient", 9).unwrap(),
+            Some(FaultPlan::transient(9, 0.10))
+        );
+        assert_eq!(
+            FaultPlan::from_profile("aggressive", 9).unwrap(),
+            Some(FaultPlan::aggressive(9))
+        );
+        assert!(FaultPlan::from_profile("chaotic", 9).is_err());
     }
 
     #[test]

@@ -76,6 +76,12 @@ impl Scale {
     pub fn apply(&self, target: u64) -> u64 {
         (target / self.divisor).max(512)
     }
+
+    /// The divisor this scale applies (for recording a campaign's scale
+    /// in a journal so a replay can reconstruct it).
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
 }
 
 impl Default for Scale {

@@ -514,16 +514,36 @@ impl TunerCheckpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically: the text is written to
-    /// a sibling `.tmp` file which is then renamed over `path`, so a
-    /// crash mid-write can never leave a truncated checkpoint behind.
+    /// Writes the checkpoint to `path` atomically and durably: the text
+    /// is written to a sibling `.tmp` file, fsync'd, and then renamed
+    /// over `path`. A crash mid-write leaves at worst a stale `.tmp`
+    /// next to the previous (still valid) checkpoint; a crash around the
+    /// rename leaves either the old or the new file, never a mix. The
+    /// parent directory is fsync'd too (best effort) so the rename
+    /// itself survives power loss.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write as _;
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, self.render())
-            .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
-        fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+        let io = |ctx: &Path| {
+            let ctx = ctx.display().to_string();
+            move |e: std::io::Error| CheckpointError::Io(format!("{ctx}: {e}"))
+        };
+        let mut f = fs::File::create(&tmp).map_err(io(&tmp))?;
+        f.write_all(self.render().as_bytes()).map_err(io(&tmp))?;
+        f.sync_all().map_err(io(&tmp))?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(io(path))?;
+        // Durability of the rename needs the directory entry flushed;
+        // not all filesystems support opening a directory, so failures
+        // here are ignored rather than surfaced.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Reads and parses a checkpoint from `path`, decoding its

@@ -58,6 +58,7 @@ mod error;
 mod model;
 mod param;
 mod race;
+pub mod replay;
 mod tuner;
 
 pub use baseline::{GridSearch, RandomSearch};
@@ -67,6 +68,10 @@ pub use error::{EvalError, Quarantine, RetryPolicy, Watchdog};
 pub use model::SamplingModel;
 pub use param::{Configuration, Domain, Param, ParamSpace, Value};
 pub use race::{race, EliminationTest, RaceContext, RaceLogEntry, RaceResult, RaceSettings};
+pub use replay::{
+    compare, Divergence, EliminationRecord, EndRecord, IterationRecord, RecordedCampaign,
+    ReplayReport, Verdict,
+};
 pub use tuner::{
     CostFn, IterationSummary, Pruner, RacingTuner, TryCostFn, TuneResult, Tuner, TunerSettings,
 };

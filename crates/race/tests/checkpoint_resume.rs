@@ -225,3 +225,72 @@ fn corrupt_or_foreign_checkpoints_are_ignored_with_a_warning() {
     assert_bit_identical(&fresh, &r);
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn kill_during_checkpoint_write_never_tears_resume_state() {
+    use racesim_race::TunerCheckpoint;
+
+    let s = space();
+    let seed = 0xCAFE_D00D;
+    let full = RacingTuner::new(settings(seed)).try_tune(&s, &Synthetic, 12);
+
+    // A valid checkpoint from a staged first run.
+    let path = tmp("torn");
+    let _ = std::fs::remove_file(&path);
+    RacingTuner::new(TunerSettings {
+        max_iterations: Some(1),
+        ..settings(seed)
+    })
+    .with_checkpoint(&path)
+    .try_tune(&s, &Synthetic, 12);
+    let valid = std::fs::read_to_string(&path).unwrap();
+
+    // The atomic protocol writes to `<path>.tmp` and renames. A process
+    // killed at any byte of that write leaves a truncated tmp file next
+    // to the intact previous checkpoint — simulate every prefix length
+    // and prove resume never sees torn state.
+    let tmp_path = {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".tmp");
+        PathBuf::from(p)
+    };
+    for cut in [0, 1, valid.len() / 2, valid.len().saturating_sub(1)] {
+        std::fs::write(&tmp_path, &valid[..cut]).unwrap();
+        let cp = TunerCheckpoint::read(&path, &s).expect("real checkpoint intact");
+        assert!(cp.next_iteration >= 1, "restored the completed iteration");
+        let resumed = RacingTuner::new(settings(seed))
+            .with_resume(&path)
+            .try_tune(&s, &Synthetic, 12);
+        assert!(resumed.warnings.is_empty(), "{:?}", resumed.warnings);
+        assert_bit_identical(&full, &resumed);
+    }
+
+    // Had the write gone to `path` in place (non-atomic), any truncation
+    // would corrupt resume state. Prove every prefix is rejected cleanly
+    // (warning + fresh run, no panic) — the failure mode the tmp+rename
+    // protocol exists to prevent.
+    for cut in [0, 1, valid.len() / 3, valid.len() - 1] {
+        std::fs::write(&path, &valid[..cut]).unwrap();
+        let r = RacingTuner::new(settings(seed))
+            .with_resume(&path)
+            .try_tune(&s, &Synthetic, 12);
+        if !r.warnings.is_empty() {
+            assert_eq!(r.warnings.len(), 1, "cut at {cut}: {:?}", r.warnings);
+        }
+        // Rejected prefixes fall back to a fresh run; a prefix that only
+        // lost trailing whitespace still restores full state. Either way
+        // the result is the uninterrupted campaign, bit for bit.
+        assert_bit_identical(&full, &r);
+    }
+
+    // And a completed save leaves no tmp file behind.
+    std::fs::write(&path, &valid).unwrap();
+    let cp = TunerCheckpoint::read(&path, &s).unwrap();
+    std::fs::remove_file(&tmp_path).ok();
+    cp.save(&path).unwrap();
+    assert!(!tmp_path.exists(), "save must clean up its tmp file");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), valid);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp_path);
+}

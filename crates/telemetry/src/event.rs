@@ -23,6 +23,35 @@ pub enum Event {
         /// Number of tunable parameters.
         n_params: usize,
     },
+    /// The campaign's full launch configuration — everything a replay
+    /// needs to rebuild the evaluation stack that is not already in
+    /// [`Event::CampaignStart`]. Emitted once per segment, before the
+    /// tuner starts.
+    CampaignConfig {
+        /// Core being tuned (`a53` or `a72`).
+        core: String,
+        /// Dynamic-instruction scale divisor.
+        scale: u64,
+        /// Fault-injection profile (`none`, `transient`, `aggressive`).
+        faults: String,
+        /// Seed of the fault plan.
+        fault_seed: u64,
+        /// Per-evaluation watchdog timeout in milliseconds (0 = none).
+        timeout_ms: u64,
+        /// Evaluation threads the segment ran with.
+        threads: usize,
+        /// Iteration cap for this segment (0 = run to completion).
+        max_iterations: u64,
+    },
+    /// One tuning dimension was pinned before any budget was spent
+    /// (coverage-based freezing). Emitted once per frozen dimension so a
+    /// replay reproduces the same effective search space.
+    Frozen {
+        /// Parameter name.
+        param: String,
+        /// Frozen value, in checkpoint code form (`C<i>`, `I<i>`, `F0`/`F1`).
+        code: String,
+    },
     /// A checkpoint was successfully applied; this segment continues an
     /// earlier campaign rather than starting fresh.
     Resume {
@@ -161,6 +190,8 @@ impl Event {
     pub fn name(&self) -> &'static str {
         match self {
             Event::CampaignStart { .. } => "campaign_start",
+            Event::CampaignConfig { .. } => "campaign_config",
+            Event::Frozen { .. } => "frozen",
             Event::Resume { .. } => "resume",
             Event::IterationStart { .. } => "iteration_start",
             Event::IterationEnd { .. } => "iteration_end",
@@ -292,6 +323,26 @@ impl JournalEntry {
                     .u64("n_instances", *n_instances as u64)
                     .u64("n_params", *n_params as u64);
             }
+            Event::CampaignConfig {
+                core,
+                scale,
+                faults,
+                fault_seed,
+                timeout_ms,
+                threads,
+                max_iterations,
+            } => {
+                o.str("core", core)
+                    .u64("scale", *scale)
+                    .str("faults", faults)
+                    .u64("fault_seed", *fault_seed)
+                    .u64("timeout_ms", *timeout_ms)
+                    .u64("threads", *threads as u64)
+                    .u64("max_iterations", *max_iterations);
+            }
+            Event::Frozen { param, code } => {
+                o.str("param", param).str("code", code);
+            }
             Event::Resume {
                 next_iteration,
                 budget_remaining,
@@ -419,6 +470,19 @@ impl JournalEntry {
                 n_instances: f.usize("n_instances")?,
                 n_params: f.usize("n_params")?,
             },
+            "campaign_config" => Event::CampaignConfig {
+                core: f.str("core")?,
+                scale: f.u64("scale")?,
+                faults: f.str("faults")?,
+                fault_seed: f.u64("fault_seed")?,
+                timeout_ms: f.u64("timeout_ms")?,
+                threads: f.usize("threads")?,
+                max_iterations: f.u64("max_iterations")?,
+            },
+            "frozen" => Event::Frozen {
+                param: f.str("param")?,
+                code: f.str("code")?,
+            },
             "resume" => Event::Resume {
                 next_iteration: f.usize("next_iteration")?,
                 budget_remaining: f.usize("budget_remaining")?,
@@ -518,6 +582,19 @@ mod tests {
             budget: 600,
             n_instances: 7,
             n_params: 5,
+        });
+        roundtrip(Event::CampaignConfig {
+            core: "a53".to_string(),
+            scale: 32768,
+            faults: "transient".to_string(),
+            fault_seed: 7,
+            timeout_ms: 0,
+            threads: 8,
+            max_iterations: 1,
+        });
+        roundtrip(Event::Frozen {
+            param: "l2_hash".to_string(),
+            code: "C0".to_string(),
         });
         roundtrip(Event::Resume {
             next_iteration: 3,

@@ -137,6 +137,73 @@ pub fn read_journal(path: &PathBuf) -> std::io::Result<ParsedJournal> {
     Ok(parse_journal(&std::fs::read_to_string(path)?))
 }
 
+/// One unparseable journal line, classified for reporting.
+///
+/// A malformed **final** line is the expected signature of a writer that
+/// was killed mid-`write` (`torn_tail`); readers should warn softly and
+/// keep the valid prefix. A bad line anywhere else — or an unknown event
+/// on the last line — means genuine corruption or a version mismatch and
+/// deserves a louder warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalWarning {
+    /// 1-based line number.
+    pub line: usize,
+    /// Why the line failed to parse.
+    pub error: JournalError,
+    /// True when this is a torn final line (crashed writer), as opposed
+    /// to mid-file corruption.
+    pub torn_tail: bool,
+}
+
+impl std::fmt::Display for JournalWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.torn_tail {
+            write!(
+                f,
+                "line {}: torn final line (writer crashed mid-write?): {}",
+                self.line, self.error
+            )
+        } else {
+            write!(f, "line {}: {}", self.line, self.error)
+        }
+    }
+}
+
+/// A parsed journal with classified warnings instead of raw errors.
+pub type LossyJournal = (Vec<JournalEntry>, Vec<JournalWarning>);
+
+/// Like [`parse_journal`], but classifies each unparseable line: a JSON
+/// error on the final non-empty line is a *torn tail* (a crash mid-write
+/// truncated it), anything else is corruption. Parsing never aborts —
+/// the valid prefix (and any valid lines after a bad one) always comes
+/// back.
+pub fn parse_journal_lossy(text: &str) -> LossyJournal {
+    let last_line = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, _)| i + 1)
+        .last();
+    let (entries, errors) = parse_journal(text);
+    let warnings = errors
+        .into_iter()
+        .map(|(line, error)| {
+            let torn_tail = Some(line) == last_line && matches!(error, JournalError::Json(_));
+            JournalWarning {
+                line,
+                error,
+                torn_tail,
+            }
+        })
+        .collect();
+    (entries, warnings)
+}
+
+/// Reads and parses a journal file with classified warnings.
+pub fn read_journal_lossy(path: &PathBuf) -> std::io::Result<LossyJournal> {
+    Ok(parse_journal_lossy(&std::fs::read_to_string(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +288,36 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].0, 3, "line numbers are 1-based");
+    }
+
+    #[test]
+    fn lossy_parse_classifies_a_torn_tail() {
+        let good = entry(1).render();
+        let text = format!("{good}\n{{\"t\":2,\"ev\":\"iteration_st");
+        let (entries, warnings) = parse_journal_lossy(&text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].torn_tail, "final malformed line is a tear");
+        assert!(warnings[0].to_string().contains("torn final line"));
+    }
+
+    #[test]
+    fn lossy_parse_flags_mid_file_garbage_as_corruption() {
+        let good = entry(1).render();
+        let also_good = entry(2).render();
+        // Garbage in the middle, then a valid line: not a torn tail, and
+        // the valid suffix is still kept.
+        let text = format!("{good}\ngarbage not json\n{also_good}");
+        let (entries, warnings) = parse_journal_lossy(&text);
+        assert_eq!(entries.len(), 2, "valid lines around the bad one survive");
+        assert_eq!(warnings.len(), 1);
+        assert!(!warnings[0].torn_tail);
+
+        // An unknown event on the final line is a version mismatch, not
+        // a tear.
+        let text = format!("{good}\n{{\"t\":3,\"ev\":\"warp_drive\"}}");
+        let (_, warnings) = parse_journal_lossy(&text);
+        assert_eq!(warnings.len(), 1);
+        assert!(!warnings[0].torn_tail);
     }
 }

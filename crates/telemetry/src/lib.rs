@@ -51,7 +51,10 @@ mod metrics;
 mod profiler;
 
 pub use event::{Event, JournalEntry, JournalError};
-pub use journal::{parse_journal, read_journal, ParsedJournal};
+pub use journal::{
+    parse_journal, parse_journal_lossy, read_journal, read_journal_lossy, JournalWarning,
+    LossyJournal, ParsedJournal,
+};
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot};
 pub use profiler::{PhaseNode, PhaseTimer, ProfileSnapshot, Profiler, Span};
 

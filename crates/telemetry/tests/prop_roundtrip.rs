@@ -37,6 +37,29 @@ fn any_event() -> BoxedStrategy<Event> {
                 budget_remaining,
             }
         }),
+        (
+            any_string(),
+            any::<u64>(),
+            any_string(),
+            any::<u64>(),
+            any::<u64>(),
+            0..256usize,
+            any::<u64>()
+        )
+            .prop_map(
+                |(core, scale, faults, fault_seed, timeout_ms, threads, max_iterations)| {
+                    Event::CampaignConfig {
+                        core,
+                        scale,
+                        faults,
+                        fault_seed,
+                        timeout_ms,
+                        threads,
+                        max_iterations,
+                    }
+                }
+            ),
+        (any_string(), any_string()).prop_map(|(param, code)| Event::Frozen { param, code }),
         (0..100usize, 0..512usize)
             .prop_map(|(iteration, configs)| Event::IterationStart { iteration, configs }),
         (
@@ -158,5 +181,45 @@ proptest! {
         for (back, line) in parsed.iter().zip(&rendered) {
             prop_assert_eq!(&back.render(), line);
         }
+    }
+
+    /// f64 payloads round-trip **bit-identically** — the property replay
+    /// correctness rests on. Finite values (normals, subnormals, signed
+    /// zeros) must come back with the exact same bit pattern; non-finite
+    /// values are canonicalized by the marker-string encoding ("NaN",
+    /// "inf", "-inf"), so NaN payload bits collapse to the canonical NaN
+    /// and infinities stay exact.
+    #[test]
+    fn f64_payloads_roundtrip_as_bits(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let entry = JournalEntry {
+            t_us: 0,
+            event: Event::IterationEnd {
+                iteration: 0,
+                survivors: 1,
+                best_cost: v,
+                evals: 0,
+                blocks: 0,
+                micros: 0,
+            },
+        };
+        let back = JournalEntry::parse(&entry.render()).expect("roundtrip parse");
+        let Event::IterationEnd { best_cost, .. } = back.event else {
+            panic!("variant changed in roundtrip");
+        };
+        let expect = if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v.is_infinite() {
+            v.to_bits()
+        } else {
+            bits
+        };
+        prop_assert_eq!(
+            best_cost.to_bits(),
+            expect,
+            "payload bits changed: {:016x} -> {:016x}",
+            bits,
+            best_cost.to_bits()
+        );
     }
 }

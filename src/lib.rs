@@ -69,8 +69,8 @@ pub use racesim_uarch as uarch;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use racesim_core::{
-        analysis, latency, params, perturb, report, Revision, ValidationOutcome, Validator,
-        ValidatorSettings,
+        analysis, diff, latency, params, perturb, report, CampaignSpec, Revision,
+        ValidationOutcome, Validator, ValidatorSettings,
     };
     pub use racesim_hw::{HardwarePlatform, PerfCounters, ReferenceBoard};
     pub use racesim_kernels::{microbench_suite, spec_suite, Category, Scale, Workload};

@@ -1,0 +1,61 @@
+//! The differential harness end to end: identical models diff clean,
+//! a single-parameter model perturbation produces diverging kernels,
+//! and the baseline file format carries exact counters across the
+//! write → read boundary.
+
+use racesim::core::diff;
+use racesim::decoder::Decoder;
+use racesim::kernels::{microbench_suite_initialized, Scale};
+use racesim::sim::Platform;
+
+fn capture(platform: &Platform) -> Vec<diff::KernelCpi> {
+    let suite = microbench_suite_initialized(Scale::TINY);
+    diff::capture_platform(platform, Decoder::new(), &suite).expect("capture runs")
+}
+
+#[test]
+fn identical_models_diff_clean_and_a_perturbed_model_diverges() {
+    let base = Platform::a53_like();
+    let a = capture(&base);
+
+    // Same model, captured twice: bit-identical CPI, exit-clean diff.
+    let again = capture(&base);
+    let same = diff::diff_records("a53", &a, "a53 again", &again, 0.0);
+    assert!(!same.has_divergence(), "{}", same.render_text());
+
+    // One latency parameter moved by one cycle: the harness must report
+    // diverging kernels (this is the regression the gate exists for).
+    let mut perturbed = base.clone();
+    perturbed.mem.l2.latency += 1;
+    let b = capture(&perturbed);
+    let d = diff::diff_records("a53", &a, "a53 l2+1", &b, 0.0);
+    assert!(d.has_divergence(), "{}", d.render_text());
+    assert!(
+        d.rows.iter().any(|r| r.diverged && r.rel_pct > 0.0),
+        "divergence is quantified: {d:?}"
+    );
+    // Memory-bound kernels must be among the movers.
+    assert!(
+        d.rows.iter().any(|r| r.diverged && r.name.starts_with('M')),
+        "{}",
+        d.render_text()
+    );
+
+    // A generous tolerance admits the drift; the exact gate does not.
+    let tolerant = diff::diff_records("a53", &a, "a53 l2+1", &b, 50.0);
+    assert!(
+        tolerant.diverged() < d.diverged(),
+        "tolerance must admit small drift"
+    );
+}
+
+#[test]
+fn baselines_carry_exact_counters_across_builds() {
+    let a = capture(&Platform::a53_like());
+    let text = diff::render_baseline("a53/tiny", &a);
+    let (label, back) = diff::parse_baseline(&text).expect("roundtrip");
+    assert_eq!(label, "a53/tiny");
+    assert_eq!(back, a, "integer counters survive serialisation exactly");
+    let d = diff::diff_records("saved", &back, "fresh", &a, 0.0);
+    assert!(!d.has_divergence(), "{}", d.render_text());
+}
