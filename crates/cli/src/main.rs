@@ -8,6 +8,8 @@
 //! racesim config   --platform a72           dump a platform config file
 //! racesim validate --core a53 [--budget N] [--scale N] [--out tuned.cfg]
 //! racesim tune     --core a53 [--checkpoint F] [--resume F] [--faults PROFILE] [--timeout MS] [--telemetry F]
+//!                  [--workers N] [--worker-cmd CMD]
+//! racesim worker                            serve framed evaluation requests on stdin/stdout
 //! racesim report   <JOURNAL> [--json]
 //! racesim replay   <JOURNAL> [--json]
 //! racesim diff     [--core a53] [--revision-a REV] [--revision-b REV] [--tolerance PCT]
@@ -45,6 +47,8 @@ COMMANDS:
     config                        print a platform configuration file
     validate                      run the full validation methodology and save the tuned model
     tune                          fault-tolerant tuning with checkpoint/resume and fault injection
+    worker                        serve framed evaluation requests over stdin/stdout (spawned by
+                                  `tune --workers`; campaigns stay bit-identical to sequential)
     report <JOURNAL>              summarize a telemetry journal written by `tune --telemetry`
     replay <JOURNAL>              re-run the campaign a journal records and verify, bit for bit,
                                   that the replay reproduces the recorded outcome
@@ -84,6 +88,18 @@ TUNE OPTIONS:
     --fault-seed <N>              seed of the fault plan (default 1)
     --telemetry <FILE>            journal campaign events and metrics as JSONL (appends when
                                   resuming an existing journal; see `racesim report`)
+    --workers <N>                 shard evaluations over N spawned worker processes; results
+                                  are reduced in canonical order, so checkpoints, elimination
+                                  order and the journal digest are bit-identical to --workers 0
+    --worker-cmd <CMD>            command (split on whitespace) to spawn one worker
+                                  (default: this binary with the `worker` subcommand)
+    --worker-timeout <MS>         coordinator-side deadline per dispatched evaluation; a worker
+                                  that blows it is killed and its task re-dispatched (default 120000)
+
+WORKER OPTIONS:
+    --exit-after <N>              die (close the stream, no reply) on the Nth evaluation request —
+                                  deterministic fault injection for the acceptance tests
+    --only-worker <K>             apply --exit-after only when the coordinator assigns slot K
 
 REPORT OPTIONS:
     --json                        machine-readable campaign summary (stable schema)
@@ -324,6 +340,34 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `racesim worker`: serve framed evaluation requests on stdin/stdout.
+/// Spawned by `tune --workers`; diagnostics go to stderr so the frame
+/// stream stays clean. The `--exit-after`/`--only-worker` hooks inject
+/// deterministic worker deaths for the fault-tolerance tests.
+fn cmd_worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    let opts = racesim_dist::WorkerOptions {
+        exit_after: flags
+            .get("exit-after")
+            .map(|v| v.parse().map_err(|_| format!("invalid --exit-after {v:?}")))
+            .transpose()?,
+        only_worker: flags
+            .get("only-worker")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid --only-worker {v:?}"))
+            })
+            .transpose()?,
+    };
+    match racesim_dist::serve_stdio(&opts) {
+        Ok(racesim_dist::ServeEnd::Killed) => {
+            eprintln!("worker: injected death, exiting without replying");
+            Ok(())
+        }
+        Ok(_) => Ok(()),
+        Err(e) => Err(format!("worker wire failure: {e}")),
+    }
+}
+
 fn core_of(flags: &HashMap<String, String>) -> Result<CoreKind, String> {
     match flags.get("core").map(String::as_str) {
         Some("a53") | None => Ok(CoreKind::InOrder),
@@ -376,6 +420,7 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
                 .unwrap_or(4),
             n => n as usize,
         },
+        workers: parse_u64(flags, "workers", 0)? as usize,
         max_iterations: flags
             .get("max-iterations")
             .map(|v| {
@@ -478,6 +523,56 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
         tuner = tuner.with_resume(path);
     }
 
+    // Distributed dispatch: shard each iteration's evaluations over a
+    // pool of spawned workers. Outcomes are reduced in canonical config
+    // order, so everything downstream — eliminations, checkpoints, the
+    // journal digest — is bit-identical to the in-process paths.
+    if spec.workers > 0 {
+        let argv: Vec<String> = match flags.get("worker-cmd") {
+            Some(cmd) => {
+                let argv: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
+                if argv.is_empty() {
+                    return Err("--worker-cmd must name a program".to_string());
+                }
+                argv
+            }
+            None => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("cannot locate this binary for worker spawning: {e}"))?;
+                vec![exe.display().to_string(), "worker".to_string()]
+            }
+        };
+        let init = racesim_dist::InitSpec {
+            core: spec.core_name().to_string(),
+            scale: spec.scale.divisor(),
+            faults: spec.fault_profile.clone(),
+            fault_seed: spec.fault_seed,
+            timeout_ms: spec.timeout_ms.unwrap_or(0),
+            worker: 0,
+        };
+        let mut pool_opts = racesim_dist::PoolOptions::new(spec.workers, init);
+        pool_opts.request_timeout =
+            Duration::from_millis(parse_u64(flags, "worker-timeout", 120_000)?);
+        let fallback: Arc<dyn TryCostFn + Send + Sync> = match spec.timeout_ms {
+            Some(ms) => Arc::new(Watchdog::new(
+                Arc::clone(&stack.cost) as Arc<dyn TryCostFn + Send + Sync>,
+                Duration::from_millis(ms),
+            )),
+            None => Arc::clone(&stack.cost) as Arc<dyn TryCostFn + Send + Sync>,
+        };
+        let pool = racesim_dist::WorkerPool::new(
+            Box::new(racesim_dist::ProcessLauncher::new(argv)),
+            pool_opts,
+            fallback,
+            telemetry.clone(),
+        );
+        tuner = tuner.with_dispatch(Arc::new(pool));
+        println!(
+            "dispatching evaluations to {} worker process(es)",
+            spec.workers
+        );
+    }
+
     println!(
         "tuning the {} model over {n_instances} benchmarks (budget {}, seed {:#x}) ...",
         spec.kind, spec.budget, spec.seed
@@ -559,6 +654,11 @@ struct CampaignSummary {
     /// (kind, after_blocks, config) in journal order.
     eliminations: Vec<(String, usize, String)>,
     quarantines: Vec<(String, String)>,
+    /// Worker processes spawned (including respawns after failures).
+    worker_spawns: u64,
+    worker_failures: Vec<(usize, String)>,
+    /// worker slot → failure count at quarantine time.
+    worker_quarantines: Vec<(usize, u64)>,
     checkpoints: u64,
     /// event name → number of journal entries of that kind.
     events: BTreeMap<String, u64>,
@@ -646,6 +746,13 @@ impl CampaignSummary {
                     .push((kind.clone(), *after_blocks, config.clone())),
                 Event::Quarantine { instance, reason } => {
                     s.quarantines.push((instance.clone(), reason.clone()));
+                }
+                Event::WorkerSpawned { .. } => s.worker_spawns += 1,
+                Event::WorkerFailed { worker, reason } => {
+                    s.worker_failures.push((*worker, reason.clone()));
+                }
+                Event::WorkerQuarantined { worker, failures } => {
+                    s.worker_quarantines.push((*worker, *failures));
                 }
                 Event::Checkpoint { .. } => s.checkpoints += 1,
                 Event::CampaignEnd {
@@ -857,6 +964,22 @@ impl CampaignSummary {
             let _ = writeln!(out, "quarantined {instance}: {reason}");
         }
 
+        if self.worker_spawns > 0 {
+            let _ = writeln!(
+                out,
+                "\nworkers: {} spawned, {} failures, {} quarantined",
+                self.worker_spawns,
+                self.worker_failures.len(),
+                self.worker_quarantines.len()
+            );
+            for (worker, reason) in &self.worker_failures {
+                let _ = writeln!(out, "worker {worker} failed: {reason}");
+            }
+            for (worker, failures) in &self.worker_quarantines {
+                let _ = writeln!(out, "worker {worker} quarantined after {failures} failures");
+            }
+        }
+
         if !self.events.is_empty() {
             let rows: Vec<Vec<String>> = self
                 .events
@@ -978,6 +1101,12 @@ impl CampaignSummary {
         }
         parts.push(format!("\"wall_us\":{}", self.wall_us));
         parts.push(format!("\"quarantined\":{}", self.quarantines.len()));
+        parts.push(format!(
+            "\"workers\":{{\"spawned\":{},\"failed\":{},\"quarantined\":{}}}",
+            self.worker_spawns,
+            self.worker_failures.len(),
+            self.worker_quarantines.len()
+        ));
         let elim: BTreeMap<String, u64> = self
             .eliminations_by_kind()
             .into_iter()
@@ -1503,6 +1632,7 @@ fn main() -> ExitCode {
         "config" => cmd_config(&flags),
         "validate" => cmd_validate(&flags),
         "tune" => cmd_tune(&flags),
+        "worker" => cmd_worker(&flags),
         "report" => match &positional {
             Some(journal) => cmd_report(journal, &flags),
             None => Err("report needs a journal path: racesim report <FILE> [--json]".to_string()),

@@ -1,0 +1,179 @@
+//! Distributed-campaign determinism acceptance test: one golden staged
+//! campaign run four ways —
+//!
+//! 1. sequential (`--threads 1`),
+//! 2. in-process parallel (`--threads 4`),
+//! 3. distributed over two spawned workers (`--workers 2`),
+//! 4. distributed with one worker killed mid-iteration
+//!    (`--worker-cmd "… worker --exit-after 1 --only-worker 0"`),
+//!
+//! must produce **byte-identical checkpoints** and pass `racesim replay`
+//! with a non-diverged verdict. The kill run must additionally exit 0,
+//! journal the `worker_failed` events, and change nothing downstream —
+//! worker death is a scheduling event, not a campaign event.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn racesim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_racesim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// A scratch directory wiped on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("racesim-dist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One staged golden campaign: tiny scale, one iteration, modest budget
+/// so the debug-build test stays fast. `--faults none` because injected
+/// board-fault schedules are keyed per process and so are the one
+/// campaign dimension that is *not* distribution-invariant.
+fn run_campaign(scratch: &Scratch, tag: &str, extra: &[&str]) -> (String, String) {
+    let ckpt = scratch.path(&format!("{tag}.ckpt"));
+    let journal = scratch.path(&format!("{tag}.jsonl"));
+    let mut args = vec![
+        "tune",
+        "--core",
+        "a53",
+        "--scale",
+        "65536",
+        "--budget",
+        "80",
+        "--max-iterations",
+        "1",
+        "--seed",
+        "7",
+        "--faults",
+        "none",
+        "--checkpoint",
+        &ckpt,
+        "--telemetry",
+        &journal,
+    ];
+    args.extend_from_slice(extra);
+    let out = racesim(&args);
+    assert!(
+        out.status.success(),
+        "{tag} run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (ckpt, journal)
+}
+
+fn checkpoint_bytes(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read checkpoint {path}: {e}"))
+}
+
+fn assert_replay_passes(journal: &str, tag: &str) {
+    let out = racesim(&["replay", journal]);
+    assert!(
+        out.status.success(),
+        "{tag} replay exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("verdict:             match") || text.contains("verdict:             prefix"),
+        "{tag} replay verdict diverged:\n{text}"
+    );
+}
+
+#[test]
+fn distributed_campaigns_are_bit_identical_to_sequential() {
+    let scratch = Scratch::new("determinism");
+    let worker_kill_cmd = format!(
+        "{} worker --exit-after 1 --only-worker 0",
+        env!("CARGO_BIN_EXE_racesim")
+    );
+
+    let (seq_ckpt, seq_journal) = run_campaign(&scratch, "seq", &["--threads", "1"]);
+    let (par_ckpt, _) = run_campaign(&scratch, "par", &["--threads", "4"]);
+    let (dist_ckpt, dist_journal) =
+        run_campaign(&scratch, "dist", &["--threads", "1", "--workers", "2"]);
+    let (kill_ckpt, kill_journal) = run_campaign(
+        &scratch,
+        "kill",
+        &[
+            "--threads",
+            "1",
+            "--workers",
+            "2",
+            "--worker-cmd",
+            &worker_kill_cmd,
+        ],
+    );
+
+    // The tentpole guarantee: all four checkpoints are byte-identical.
+    let golden = checkpoint_bytes(&seq_ckpt);
+    assert!(!golden.is_empty(), "sequential checkpoint is empty");
+    assert_eq!(
+        golden,
+        checkpoint_bytes(&par_ckpt),
+        "--threads 4 checkpoint diverged from sequential"
+    );
+    assert_eq!(
+        golden,
+        checkpoint_bytes(&dist_ckpt),
+        "--workers 2 checkpoint diverged from sequential"
+    );
+    assert_eq!(
+        golden,
+        checkpoint_bytes(&kill_ckpt),
+        "worker-kill run checkpoint diverged from sequential"
+    );
+
+    // Worker lifecycle is journaled: the healthy distributed run spawned
+    // two workers and lost none; the kill run lost at least one and
+    // still finished (exit 0 already asserted in run_campaign).
+    let dist_lines = std::fs::read_to_string(&dist_journal).expect("dist journal");
+    assert_eq!(
+        dist_lines
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"worker_spawned\""))
+            .count(),
+        2,
+        "healthy run spawns exactly its two workers"
+    );
+    assert!(
+        !dist_lines.contains("\"ev\":\"worker_failed\""),
+        "healthy run must not record worker failures"
+    );
+    let kill_lines = std::fs::read_to_string(&kill_journal).expect("kill journal");
+    assert!(
+        kill_lines.contains("\"ev\":\"worker_failed\""),
+        "killed worker must be journaled"
+    );
+    assert!(
+        kill_lines
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"worker_spawned\""))
+            .count()
+            > 2,
+        "killed worker must be respawned"
+    );
+
+    // And the replay gate accepts every journal, distributed or not.
+    assert_replay_passes(&seq_journal, "sequential");
+    assert_replay_passes(&dist_journal, "distributed");
+    assert_replay_passes(&kill_journal, "worker-kill");
+}

@@ -39,6 +39,11 @@ pub struct CampaignSpec {
     /// Evaluation threads (results are thread-count invariant; this only
     /// affects wall time).
     pub threads: usize,
+    /// Spawned evaluation worker processes (0 = all in-process). Like
+    /// `threads`, a non-semantic dimension: distributed evaluation is
+    /// bit-identical to sequential, so replay always re-runs in-process
+    /// regardless of what the recording used.
+    pub workers: usize,
     /// Iteration cap for staged runs (`None` = run to completion).
     pub max_iterations: Option<usize>,
     /// Per-evaluation watchdog timeout in milliseconds.
@@ -85,6 +90,7 @@ impl CampaignSpec {
             fault_seed: self.fault_seed,
             timeout_ms: self.timeout_ms.unwrap_or(0),
             threads: self.threads,
+            workers: self.workers,
             max_iterations: self.max_iterations.unwrap_or(0) as u64,
         }
     }
@@ -133,6 +139,7 @@ impl CampaignSpec {
                     fault_seed,
                     timeout_ms,
                     threads,
+                    workers,
                     ..
                 } if config.is_none() => {
                     let kind = match core.as_str() {
@@ -147,6 +154,7 @@ impl CampaignSpec {
                         *fault_seed,
                         *timeout_ms,
                         *threads,
+                        *workers,
                     ));
                 }
                 Event::CampaignStart { seed, budget, .. } if start.is_none() => {
@@ -158,8 +166,8 @@ impl CampaignSpec {
                 _ => {}
             }
         }
-        let (kind, scale, fault_profile, fault_seed, timeout_ms, threads) =
-            config.ok_or_else(|| {
+        let (kind, scale, fault_profile, fault_seed, timeout_ms, threads, workers) = config
+            .ok_or_else(|| {
                 "journal has no campaign_config event (recorded before replay support?); \
                  re-record it with a current `racesim tune --telemetry`"
                     .to_string()
@@ -174,6 +182,7 @@ impl CampaignSpec {
             budget: budget as u64,
             seed,
             threads: threads.max(1),
+            workers,
             max_iterations: None,
             timeout_ms: (timeout_ms != 0).then_some(timeout_ms),
             fault_profile,
@@ -302,6 +311,7 @@ mod tests {
             budget: 60,
             seed: 0xBADC_AB1E,
             threads: 1,
+            workers: 2,
             max_iterations: Some(1),
             timeout_ms: Some(60_000),
             fault_profile: "transient".to_string(),

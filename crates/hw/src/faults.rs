@@ -107,6 +107,37 @@ impl FaultPlan {
         }
     }
 
+    /// Derives a per-worker seed from a base fault seed: worker 0 keeps
+    /// the base seed unchanged, every other worker gets a splitmix64
+    /// mix of `(base, worker)`. Stable across runs, so a distributed
+    /// campaign's fault schedule is addressable per worker slot.
+    pub fn worker_seed(base: u64, worker: usize) -> u64 {
+        if worker == 0 {
+            return base;
+        }
+        let mut z = base
+            .wrapping_add((worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The same plan re-seeded for worker slot `worker` (identity for
+    /// worker 0, the coordinator's own slot).
+    ///
+    /// Fault schedules are keyed by per-process attempt counters, so a
+    /// shared seed would *not* make a distributed campaign's injected
+    /// faults match a sequential run anyway — instead each worker gets
+    /// its own deterministic schedule, reproducible given the same
+    /// `(base seed, worker slot)` pair.
+    pub fn for_worker(&self, worker: usize) -> FaultPlan {
+        FaultPlan {
+            seed: FaultPlan::worker_seed(self.seed, worker),
+            ..*self
+        }
+    }
+
     /// FNV-1a over the seed, a decision tag, the workload name, and the
     /// attempt number, mapped to `[0, 1)`.
     fn roll(&self, tag: u8, name: &str, attempt: u64) -> f64 {
@@ -292,6 +323,24 @@ mod tests {
 
     fn workload() -> Workload {
         microbench_suite(Scale::TINY).into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn worker_plans_are_deterministic_and_distinct() {
+        let base = FaultPlan::aggressive(42);
+        // Worker 0 is the identity: an in-process campaign and the
+        // coordinator's own slot share the base schedule.
+        assert_eq!(base.for_worker(0), base);
+        // Other slots differ only in seed, deterministically.
+        let w1 = base.for_worker(1);
+        let w2 = base.for_worker(2);
+        assert_eq!(w1, base.for_worker(1));
+        assert_ne!(w1.seed, base.seed);
+        assert_ne!(w1.seed, w2.seed);
+        assert_eq!(w1.transient_rate, base.transient_rate);
+        assert_eq!(w1.hang, base.hang);
+        // The derived seeds actually change the schedule.
+        assert_ne!(base.roll(0, "stream_copy", 0), w1.roll(0, "stream_copy", 0));
     }
 
     #[test]

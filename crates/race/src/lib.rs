@@ -67,7 +67,10 @@ pub use checkpoint::{CheckpointError, TunerCheckpoint};
 pub use error::{EvalError, Quarantine, RetryPolicy, Watchdog};
 pub use model::SamplingModel;
 pub use param::{Configuration, Domain, Param, ParamSpace, Value};
-pub use race::{race, EliminationTest, RaceContext, RaceLogEntry, RaceResult, RaceSettings};
+pub use race::{
+    eval_with_retry, race, EliminationTest, EvalDispatch, RaceContext, RaceLogEntry, RaceResult,
+    RaceSettings,
+};
 pub use replay::{
     compare, Divergence, EliminationRecord, EndRecord, IterationRecord, RecordedCampaign,
     ReplayReport, Verdict,

@@ -143,6 +143,39 @@ impl RaceProf {
     }
 }
 
+/// A pluggable backend that evaluates one block's worth of
+/// `(configuration, instance)` tasks somewhere other than the calling
+/// thread pool — the seam the distributed coordinator plugs into.
+///
+/// The contract mirrors the inline path exactly, so swapping backends
+/// cannot change a campaign's outcome:
+///
+/// * the returned vector is **aligned with `tasks`** (slot `k` holds the
+///   outcome of `tasks[k]`), preserving the race's deterministic
+///   slot-indexed reduction regardless of which backend worker finished
+///   first;
+/// * every outcome is fully classified: transient faults were retried
+///   per `retry` and escalated to [`EvalError::Instance`] when
+///   exhausted, panics and non-finite costs were converted to
+///   [`EvalError::Config`] — exactly like [`eval_with_retry`];
+/// * the `u64` in each slot counts transient retries spent on that
+///   task, so budget and retry accounting stay backend-invariant.
+///
+/// Backend-internal failures (a dead worker process, a torn frame) must
+/// be absorbed by the implementation — re-dispatched or evaluated
+/// locally — never surfaced as task outcomes.
+pub trait EvalDispatch: Sync + std::fmt::Debug {
+    /// Evaluates every task in `tasks` on `instance` and returns their
+    /// classified outcomes in task order.
+    fn eval_batch(
+        &self,
+        space: &ParamSpace,
+        tasks: &[&Configuration],
+        instance: usize,
+        retry: &RetryPolicy,
+    ) -> Vec<(Result<f64, EvalError>, u64)>;
+}
+
 /// Shared infrastructure a race runs against: the cost memo, the
 /// cross-race instance quarantine, an optional cancellation flag
 /// (checked between blocks; a cancelled race reports `aborted`), and the
@@ -158,6 +191,9 @@ pub struct RaceContext<'a> {
     pub cancel: Option<&'a AtomicBool>,
     /// Worker threads for block evaluation (`<= 1` runs inline).
     pub threads: usize,
+    /// Evaluation backend for block dispatch (`None` evaluates
+    /// in-process on `threads` threads).
+    pub dispatch: Option<&'a dyn EvalDispatch>,
     /// Phase timers for the self-profiler, or `None` when profiling is
     /// off (the default).
     pub prof: Option<&'a RaceProf>,
@@ -166,7 +202,12 @@ pub struct RaceContext<'a> {
 /// Evaluates one `(configuration, instance)` task with retry/backoff,
 /// catching panics and rejecting non-finite costs at the boundary.
 /// Returns the classified outcome plus the number of retries taken.
-fn eval_one(
+///
+/// This is the single classification point every evaluation path shares:
+/// the inline race loop, the in-process thread pool, and the distributed
+/// coordinator's local fallback all call it, so fault taxonomy and retry
+/// accounting cannot drift between backends.
+pub fn eval_with_retry(
     cost: &dyn TryCostFn,
     cfg: &Configuration,
     space: &ParamSpace,
@@ -250,9 +291,20 @@ fn evaluate_block(
     // Indexed by position in `todo`, so parallel workers write disjoint
     // slots and the merged outcome is order-independent.
     let mut results: Vec<Option<(Result<f64, EvalError>, u64)>> = vec![None; todo.len()];
-    if ctx.threads <= 1 || todo.len() <= 1 {
+    if let Some(dispatch) = ctx.dispatch {
+        let tasks: Vec<&Configuration> = todo.iter().map(|&i| &configs[i]).collect();
+        let outcomes = dispatch.eval_batch(space, &tasks, instance, &settings.retry);
+        assert_eq!(
+            outcomes.len(),
+            tasks.len(),
+            "dispatch backend must return one outcome per task"
+        );
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            results[slot] = Some(outcome);
+        }
+    } else if ctx.threads <= 1 || todo.len() <= 1 {
         for (slot, &i) in todo.iter().enumerate() {
-            results[slot] = Some(eval_one(
+            results[slot] = Some(eval_with_retry(
                 cost,
                 &configs[i],
                 space,
@@ -271,7 +323,7 @@ fn evaluate_block(
                         break;
                     }
                     let i = todo[k];
-                    let r = eval_one(cost, &configs[i], space, instance, &settings.retry);
+                    let r = eval_with_retry(cost, &configs[i], space, instance, &settings.retry);
                     slots.lock()[k] = Some(r);
                 });
             }
@@ -572,6 +624,7 @@ mod tests {
                 quarantine,
                 cancel: None,
                 threads,
+                dispatch: None,
                 prof: None,
             },
             settings,
@@ -741,6 +794,66 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_backend_matches_the_inline_path() {
+        #[derive(Debug)]
+        struct LocalDispatch;
+        impl EvalDispatch for LocalDispatch {
+            fn eval_batch(
+                &self,
+                space: &ParamSpace,
+                tasks: &[&Configuration],
+                instance: usize,
+                retry: &RetryPolicy,
+            ) -> Vec<(Result<f64, EvalError>, u64)> {
+                tasks
+                    .iter()
+                    .map(|cfg| eval_with_retry(&SyntheticCost, cfg, space, instance, retry))
+                    .collect()
+            }
+        }
+        let s = space();
+        let cfgs = configs(&s);
+        let order: Vec<usize> = (0..20).collect();
+        let mut b1 = 10_000u64;
+        let inline = run(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            &CostCache::new(),
+            &Quarantine::new(),
+            &RaceSettings::default(),
+            &mut b1,
+            1,
+        );
+        let cache = CostCache::new();
+        let q = Quarantine::new();
+        let mut b2 = 10_000u64;
+        let dispatched = race(
+            &s,
+            &cfgs,
+            &order,
+            &SyntheticCost,
+            RaceContext {
+                cache: &cache,
+                quarantine: &q,
+                cancel: None,
+                threads: 1,
+                dispatch: Some(&LocalDispatch),
+                prof: None,
+            },
+            &RaceSettings::default(),
+            &mut b2,
+        );
+        assert_eq!(inline.survivors, dispatched.survivors);
+        assert_eq!(inline.evals_used, dispatched.evals_used);
+        assert_eq!(b1, b2);
+        for (a, b) in inline.survivor_costs.iter().zip(&dispatched.survivor_costs) {
+            assert_eq!(a.to_bits(), b.to_bits(), "costs must be bit-identical");
+        }
+    }
+
+    #[test]
     fn quarantined_instances_are_skipped_up_front() {
         let s = space();
         let cfgs = configs(&s);
@@ -803,6 +916,7 @@ mod tests {
                 quarantine: &q,
                 cancel: None,
                 threads: 1,
+                dispatch: None,
                 prof: Some(&prof),
             },
             &RaceSettings::default(),
@@ -846,6 +960,7 @@ mod tests {
                 quarantine: &q,
                 cancel: Some(&cancel),
                 threads: 1,
+                dispatch: None,
                 prof: None,
             },
             &RaceSettings::default(),

@@ -818,6 +818,7 @@ mod tests {
                     fault_seed: 1,
                     timeout_ms: 0,
                     threads: 1,
+                    workers: 0,
                     max_iterations: 1,
                 }),
             ],

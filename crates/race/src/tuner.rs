@@ -5,7 +5,7 @@ use crate::checkpoint::TunerCheckpoint;
 use crate::error::{EvalError, Quarantine};
 use crate::model::SamplingModel;
 use crate::param::{Configuration, ParamSpace, Value};
-use crate::race::{race, RaceContext, RaceLogEntry, RaceProf, RaceSettings};
+use crate::race::{race, EvalDispatch, RaceContext, RaceLogEntry, RaceProf, RaceSettings};
 use racesim_telemetry::{Event, Profiler, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -218,6 +218,7 @@ pub struct RacingTuner {
     cancel: Option<Arc<AtomicBool>>,
     telemetry: Telemetry,
     profiler: Profiler,
+    dispatch: Option<Arc<dyn EvalDispatch + Send + Sync>>,
 }
 
 impl std::fmt::Debug for RacingTuner {
@@ -230,6 +231,7 @@ impl std::fmt::Debug for RacingTuner {
             .field("resume", &self.resume)
             .field("telemetry", &self.telemetry)
             .field("profiler", &self.profiler)
+            .field("dispatch", &self.dispatch)
             .finish_non_exhaustive()
     }
 }
@@ -246,7 +248,19 @@ impl RacingTuner {
             cancel: None,
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
+            dispatch: None,
         }
+    }
+
+    /// Installs an evaluation dispatch backend: every race block's fresh
+    /// evaluations are handed to it as one batch instead of running on
+    /// the in-process thread pool. The [`EvalDispatch`] contract makes
+    /// this outcome-invariant — the distributed coordinator uses it to
+    /// shard evaluations across worker processes while keeping the tune
+    /// bit-identical to a sequential run.
+    pub fn with_dispatch(mut self, dispatch: Arc<dyn EvalDispatch + Send + Sync>) -> RacingTuner {
+        self.dispatch = Some(dispatch);
+        self
     }
 
     /// Freezes dimensions to fixed values: every sampled configuration
@@ -519,6 +533,7 @@ impl RacingTuner {
                     quarantine: &quarantine,
                     cancel: self.cancel.as_deref(),
                     threads: st.threads,
+                    dispatch: self.dispatch.as_deref().map(|d| d as &dyn EvalDispatch),
                     prof: prof_on.then_some(&race_prof),
                 },
                 &st.race,

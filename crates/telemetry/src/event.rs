@@ -40,6 +40,10 @@ pub enum Event {
         timeout_ms: u64,
         /// Evaluation threads the segment ran with.
         threads: usize,
+        /// Spawned worker processes the segment ran with (0 = all
+        /// evaluations in-process). Like `threads`, a non-semantic
+        /// dimension: it affects wall time only, never the outcome.
+        workers: usize,
         /// Iteration cap for this segment (0 = run to completion).
         max_iterations: u64,
     },
@@ -166,6 +170,33 @@ pub enum Event {
         /// Final value.
         value: u64,
     },
+    /// A distributed evaluation worker process was spawned (or
+    /// respawned after a failure).
+    WorkerSpawned {
+        /// Worker slot index (stable across respawns).
+        worker: usize,
+        /// OS process id of the spawned worker (0 when not applicable,
+        /// e.g. in-memory loopback workers in tests).
+        pid: u64,
+    },
+    /// A distributed evaluation worker failed (process exit, torn
+    /// frame, handshake mismatch, or per-request timeout). Its in-flight
+    /// request was re-dispatched; the failure never surfaces in the
+    /// campaign outcome.
+    WorkerFailed {
+        /// Worker slot index.
+        worker: usize,
+        /// Classified failure description.
+        reason: String,
+    },
+    /// A worker slot exhausted its respawn budget and was taken out of
+    /// rotation for the rest of the campaign.
+    WorkerQuarantined {
+        /// Worker slot index.
+        worker: usize,
+        /// Total failures the slot accumulated before quarantine.
+        failures: u64,
+    },
     /// Final aggregates of one histogram.
     HistogramFinal {
         /// Metric name.
@@ -202,6 +233,9 @@ impl Event {
             Event::Quarantine { .. } => "quarantine",
             Event::Checkpoint { .. } => "checkpoint",
             Event::CampaignEnd { .. } => "campaign_end",
+            Event::WorkerSpawned { .. } => "worker_spawned",
+            Event::WorkerFailed { .. } => "worker_failed",
+            Event::WorkerQuarantined { .. } => "worker_quarantined",
             Event::CounterFinal { .. } => "counter",
             Event::GaugeFinal { .. } => "gauge",
             Event::HistogramFinal { .. } => "histogram",
@@ -277,6 +311,18 @@ impl Fields {
         self.u64(key).map(|v| v as usize)
     }
 
+    /// Like [`Fields::usize`], but a *missing* key yields `default`
+    /// (a present key of the wrong type is still an error). Used for
+    /// fields added to an event after journals recording it already
+    /// exist, per the append-only-friendly encoding contract.
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, JournalError> {
+        if self.0.iter().any(|(k, _)| k == key) {
+            self.usize(key)
+        } else {
+            Ok(default)
+        }
+    }
+
     fn f64(&self, key: &str) -> Result<f64, JournalError> {
         match self.raw(key)? {
             Scalar::Num(raw) => raw
@@ -330,6 +376,7 @@ impl JournalEntry {
                 fault_seed,
                 timeout_ms,
                 threads,
+                workers,
                 max_iterations,
             } => {
                 o.str("core", core)
@@ -338,6 +385,7 @@ impl JournalEntry {
                     .u64("fault_seed", *fault_seed)
                     .u64("timeout_ms", *timeout_ms)
                     .u64("threads", *threads as u64)
+                    .u64("workers", *workers as u64)
                     .u64("max_iterations", *max_iterations);
             }
             Event::Frozen { param, code } => {
@@ -430,6 +478,15 @@ impl JournalEntry {
                     .bool("aborted", *aborted)
                     .u64("micros", *micros);
             }
+            Event::WorkerSpawned { worker, pid } => {
+                o.u64("worker", *worker as u64).u64("pid", *pid);
+            }
+            Event::WorkerFailed { worker, reason } => {
+                o.u64("worker", *worker as u64).str("reason", reason);
+            }
+            Event::WorkerQuarantined { worker, failures } => {
+                o.u64("worker", *worker as u64).u64("failures", *failures);
+            }
             Event::CounterFinal { name, value } => {
                 o.str("name", name).u64("value", *value);
             }
@@ -477,6 +534,9 @@ impl JournalEntry {
                 fault_seed: f.u64("fault_seed")?,
                 timeout_ms: f.u64("timeout_ms")?,
                 threads: f.usize("threads")?,
+                // Added after journals without it were recorded: absent
+                // means the segment predates distributed evaluation.
+                workers: f.usize_or("workers", 0)?,
                 max_iterations: f.u64("max_iterations")?,
             },
             "frozen" => Event::Frozen {
@@ -537,6 +597,18 @@ impl JournalEntry {
                 aborted: f.bool("aborted")?,
                 micros: f.u64("micros")?,
             },
+            "worker_spawned" => Event::WorkerSpawned {
+                worker: f.usize("worker")?,
+                pid: f.u64("pid")?,
+            },
+            "worker_failed" => Event::WorkerFailed {
+                worker: f.usize("worker")?,
+                reason: f.str("reason")?,
+            },
+            "worker_quarantined" => Event::WorkerQuarantined {
+                worker: f.usize("worker")?,
+                failures: f.u64("failures")?,
+            },
             "counter" => Event::CounterFinal {
                 name: f.str("name")?,
                 value: f.u64("value")?,
@@ -590,6 +662,7 @@ mod tests {
             fault_seed: 7,
             timeout_ms: 0,
             threads: 8,
+            workers: 2,
             max_iterations: 1,
         });
         roundtrip(Event::Frozen {
@@ -658,6 +731,18 @@ mod tests {
             name: "tuner.budget_remaining".to_string(),
             value: 0,
         });
+        roundtrip(Event::WorkerSpawned {
+            worker: 1,
+            pid: 48_213,
+        });
+        roundtrip(Event::WorkerFailed {
+            worker: 0,
+            reason: "torn frame: unexpected EOF".to_string(),
+        });
+        roundtrip(Event::WorkerQuarantined {
+            worker: 3,
+            failures: 4,
+        });
         roundtrip(Event::HistogramFinal {
             name: "sim.run_us".to_string(),
             count: 100,
@@ -667,6 +752,28 @@ mod tests {
             p99: 255,
             max: 201,
         });
+    }
+
+    #[test]
+    fn campaign_config_without_workers_parses_as_zero() {
+        // The exact shape journals recorded before distributed support.
+        let line = r#"{"t":9,"ev":"campaign_config","core":"a53","scale":32768,"faults":"none","fault_seed":0,"timeout_ms":0,"threads":4,"max_iterations":0}"#;
+        let e = JournalEntry::parse(line).expect("old journals stay parseable");
+        match e.event {
+            Event::CampaignConfig {
+                workers, threads, ..
+            } => {
+                assert_eq!(workers, 0);
+                assert_eq!(threads, 4);
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        // But a present key of the wrong type is still an error.
+        let bad = r#"{"t":9,"ev":"campaign_config","core":"a53","scale":1,"faults":"none","fault_seed":0,"timeout_ms":0,"threads":1,"workers":"two","max_iterations":0}"#;
+        assert!(matches!(
+            JournalEntry::parse(bad),
+            Err(JournalError::Field(_))
+        ));
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! no-op shim, so — like the checkpoint format — serialization is
 //! hand-rolled against exactly the subset the journal emits: one object
 //! per line whose values are strings, numbers or booleans.
+//!
+//! The module is public so sibling crates with the same flat-object needs
+//! (the distributed wire protocol, the CLI's JSON output) share one codec
+//! instead of each hand-rolling a divergent one.
 
 /// Appends `s` to `out` with JSON string escaping.
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -24,7 +28,7 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 /// Formats an `f64` as a JSON value. Finite values use Rust's shortest
 /// round-trip decimal rendering; non-finite values (invalid JSON numbers)
 /// are encoded as the strings `"NaN"`, `"inf"` and `"-inf"`.
-pub(crate) fn f64_value(v: f64) -> String {
+pub fn f64_value(v: f64) -> String {
     if v.is_nan() {
         "\"NaN\"".to_string()
     } else if v == f64::INFINITY {
@@ -37,12 +41,20 @@ pub(crate) fn f64_value(v: f64) -> String {
 }
 
 /// An incremental writer for one flat JSON object.
-pub(crate) struct Obj {
+#[derive(Debug)]
+pub struct Obj {
     buf: String,
 }
 
+impl Default for Obj {
+    fn default() -> Obj {
+        Obj::new()
+    }
+}
+
 impl Obj {
-    pub(crate) fn new() -> Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
         Obj {
             buf: String::from("{"),
         }
@@ -57,7 +69,8 @@ impl Obj {
         self.buf.push_str("\":");
     }
 
-    pub(crate) fn str(&mut self, k: &str, v: &str) -> &mut Obj {
+    /// Appends a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Obj {
         self.key(k);
         self.buf.push('"');
         escape_into(&mut self.buf, v);
@@ -65,25 +78,29 @@ impl Obj {
         self
     }
 
-    pub(crate) fn u64(&mut self, k: &str, v: u64) -> &mut Obj {
+    /// Appends an unsigned-integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Obj {
         self.key(k);
         self.buf.push_str(&v.to_string());
         self
     }
 
-    pub(crate) fn f64(&mut self, k: &str, v: f64) -> &mut Obj {
+    /// Appends a float field (non-finite values as marker strings).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Obj {
         self.key(k);
         self.buf.push_str(&f64_value(v));
         self
     }
 
-    pub(crate) fn bool(&mut self, k: &str, v: bool) -> &mut Obj {
+    /// Appends a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Obj {
         self.key(k);
         self.buf.push_str(if v { "true" } else { "false" });
         self
     }
 
-    pub(crate) fn finish(mut self) -> String {
+    /// Closes the object and returns the rendered line.
+    pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }
@@ -92,7 +109,7 @@ impl Obj {
 /// One parsed JSON scalar. Numbers keep their raw token so integer fields
 /// can be parsed exactly (no round-trip through `f64`).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Scalar {
+pub enum Scalar {
     /// A string value.
     Str(String),
     /// A numeric value, as its raw token.
@@ -103,7 +120,11 @@ pub(crate) enum Scalar {
 
 /// Parses one flat JSON object (`{"k": v, ...}` where every `v` is a
 /// string, number or boolean) into key/value pairs.
-pub(crate) fn parse_object(s: &str) -> Result<Vec<(String, Scalar)>, String> {
+///
+/// # Errors
+///
+/// Reports the first malformed construct with its byte offset.
+pub fn parse_object(s: &str) -> Result<Vec<(String, Scalar)>, String> {
     let b = s.trim().as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();

@@ -46,7 +46,7 @@
 
 mod event;
 mod journal;
-mod json;
+pub mod json;
 mod metrics;
 mod profiler;
 

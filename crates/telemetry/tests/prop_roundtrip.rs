@@ -44,10 +44,20 @@ fn any_event() -> BoxedStrategy<Event> {
             any::<u64>(),
             any::<u64>(),
             0..256usize,
+            0..64usize,
             any::<u64>()
         )
             .prop_map(
-                |(core, scale, faults, fault_seed, timeout_ms, threads, max_iterations)| {
+                |(
+                    core,
+                    scale,
+                    faults,
+                    fault_seed,
+                    timeout_ms,
+                    threads,
+                    workers,
+                    max_iterations,
+                )| {
                     Event::CampaignConfig {
                         core,
                         scale,
@@ -55,6 +65,7 @@ fn any_event() -> BoxedStrategy<Event> {
                         fault_seed,
                         timeout_ms,
                         threads,
+                        workers,
                         max_iterations,
                     }
                 }
@@ -135,6 +146,11 @@ fn any_event() -> BoxedStrategy<Event> {
                     }
                 }
             ),
+        (0..64usize, any::<u64>()).prop_map(|(worker, pid)| Event::WorkerSpawned { worker, pid }),
+        (0..64usize, any_string())
+            .prop_map(|(worker, reason)| Event::WorkerFailed { worker, reason }),
+        (0..64usize, any::<u64>())
+            .prop_map(|(worker, failures)| Event::WorkerQuarantined { worker, failures }),
         (any_string(), any::<u64>()).prop_map(|(name, value)| Event::CounterFinal { name, value }),
         (any_string(), any::<u64>()).prop_map(|(name, value)| Event::GaugeFinal { name, value }),
         (

@@ -1,0 +1,445 @@
+//! Minimal MPMC channel, a strict subset of `crossbeam-channel`.
+//!
+//! Supports the operations racesim's coordinator actually uses:
+//! [`bounded`] / [`unbounded`] construction, blocking [`Sender::send`],
+//! blocking [`Receiver::recv`], non-blocking [`Receiver::try_recv`], and
+//! [`Receiver::recv_timeout`]. Both halves are cloneable (multi-producer,
+//! multi-consumer) and disconnect when the last peer on the other side
+//! drops, matching the real crate's semantics for these calls. Select,
+//! `iter()`, zero-capacity rendezvous channels, and the `send_timeout`
+//! family are deliberately absent.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has dropped.
+/// Carries the unsent message back, like the real crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender has dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender has dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender has dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` for unbounded channels.
+    capacity: Option<usize>,
+    /// Signalled when a message arrives or the last sender drops.
+    not_empty: Condvar,
+    /// Signalled when a message leaves or the last receiver drops.
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn sender_side_open(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) > 0
+    }
+
+    fn receiver_side_open(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) > 0
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake receivers so they observe the
+            // disconnect instead of blocking forever.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued (bounded channels block while
+    /// full).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back as `SendError` when every receiver has
+    /// dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if !self.shared.receiver_side_open() {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self
+                        .shared
+                        .not_full
+                        .wait(queue)
+                        .expect("channel lock poisoned");
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+/// The receiving half of a channel. Cloneable; the channel disconnects
+/// for senders when the last clone drops.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: wake senders blocked on a full queue.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    fn pop(&self, queue: &mut VecDeque<T>) -> Option<T> {
+        let msg = queue.pop_front();
+        if msg.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        msg
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the channel is empty and every sender has dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(msg) = self.pop(&mut queue) {
+                return Ok(msg);
+            }
+            if !self.shared.sender_side_open() {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .not_empty
+                .wait(queue)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Returns a waiting message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// `Empty` when no message is queued, `Disconnected` when additionally
+    /// every sender has dropped.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        if let Some(msg) = self.pop(&mut queue) {
+            return Ok(msg);
+        }
+        if self.shared.sender_side_open() {
+            Err(TryRecvError::Empty)
+        } else {
+            Err(TryRecvError::Disconnected)
+        }
+    }
+
+    /// Blocks for at most `timeout` waiting for a message.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` when the deadline passes, `Disconnected` when the channel
+    /// is empty and every sender has dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(msg) = self.pop(&mut queue) {
+                return Ok(msg);
+            }
+            if !self.shared.sender_side_open() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, res) = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .expect("channel lock poisoned");
+            queue = q;
+            if res.timed_out() && queue.is_empty() {
+                if self.shared.sender_side_open() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                return Err(RecvTimeoutError::Disconnected);
+            }
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel lock poisoned")
+            .len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates an MPMC channel holding at most `cap` messages; sends block
+/// while the channel is full. `cap` must be at least 1 (the real crate's
+/// zero-capacity rendezvous channel is not part of this subset).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity channels are not supported");
+    channel(Some(cap))
+}
+
+/// Creates an MPMC channel of unbounded capacity; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_unblocks_when_last_sender_drops() {
+        let (tx, rx) = unbounded::<u32>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_succeeds() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_every_message_delivered_exactly_once() {
+        let (tx, rx) = bounded(4);
+        let n_producers = 3usize;
+        let per_producer = 50usize;
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..n_producers {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..per_producer {
+                    tx.send(p * per_producer + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..n_producers * per_producer).collect();
+        assert_eq!(all, expect);
+    }
+}

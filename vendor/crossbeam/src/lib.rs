@@ -1,10 +1,14 @@
 //! Offline shim for `crossbeam`: the `scope` entry point, implemented on
-//! `std::thread::scope` (stable since 1.63).
+//! `std::thread::scope` (stable since 1.63), plus a minimal MPMC
+//! [`channel`] module. Both expose a strict subset of the real crate's
+//! API so the shim can be swapped for the real dependency unchanged.
 //!
 //! Behavioural difference from the real crate: a panicking worker
 //! propagates its panic when the scope joins rather than surfacing as
 //! `Err`, so the customary `.expect("worker panicked")` on the result
 //! still reports the failure, just with the worker's own message.
+
+pub mod channel;
 
 use std::any::Any;
 use std::thread;
