@@ -179,6 +179,20 @@ lints! {
     /// future change that reorders evaluations (work stealing, async
     /// collection) would silently change results.
     FloatReductionOrder = ("RA505", "float-reduction-order", Info),
+
+    // ---- RA6xx: static CPI bounds -----------------------------------
+    /// A kernel whose static CPI lower bound never exceeds the trivial
+    /// issue-width floor: the bounds engine can prove nothing about it
+    /// and pre-simulation elimination gains nothing from it.
+    BoundVacuous = ("RA601", "vacuous-bound", Warn),
+    /// A static CPI interval with its lower bound above its upper bound:
+    /// the bounds lattice produced a claim no execution can satisfy, so
+    /// any elimination decision built on it would be unsound.
+    BoundInversion = ("RA602", "bound-inversion", Error),
+    /// A tuned parameter that moves no kernel's static CPI interval
+    /// anywhere in its domain: the bounds engine treats every candidate
+    /// alike (static elimination is direction-blind for this dimension).
+    BoundInsensitiveParameter = ("RA603", "suite-insensitive-parameter", Info),
 }
 
 /// One finding: a lint instance attached to a concrete offender.
@@ -325,7 +339,7 @@ impl Report {
     /// Machine-readable JSON rendering. The schema is stable:
     ///
     /// ```json
-    /// {"version":1,
+    /// {"version":2,
     ///  "summary":{"error":N,"warn":N,"info":N},
     ///  "diagnostics":[
     ///    {"code":"RA001","lint":"degenerate-dimension","severity":"warn",
@@ -334,6 +348,9 @@ impl Report {
     ///
     /// Context keys keep their insertion order; call [`Report::sort`]
     /// first for run-to-run stable diagnostic order.
+    ///
+    /// Schema history: version 2 added the RA6xx static-bounds lints and
+    /// the `bounds` section of `racesim lint --suite --json`.
     pub fn render_json(&self) -> String {
         self.render_json_with(&[])
     }
@@ -343,7 +360,7 @@ impl Report {
     /// `"key":value`, with `value` pre-rendered JSON (the `--suite` path
     /// uses this to embed the parameter-coverage matrix).
     pub fn render_json_with(&self, sections: &[(&str, String)]) -> String {
-        let mut out = String::from("{\"version\":1,\"summary\":{");
+        let mut out = String::from("{\"version\":2,\"summary\":{");
         out.push_str(&format!(
             "\"error\":{},\"warn\":{},\"info\":{}}},\"diagnostics\":[",
             self.count(Severity::Error),
@@ -451,7 +468,7 @@ mod tests {
                 .with("param", "l1d.latency"),
         );
         let json = r.render_json();
-        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.starts_with("{\"version\":2,"));
         assert!(json.contains("\"say \\\"twice\\\"\\n\""));
         assert!(json.contains("\"context\":{\"param\":\"l1d.latency\"}"));
         assert!(json.contains("\"summary\":{\"error\":0,\"warn\":1,\"info\":0}"));

@@ -1,0 +1,191 @@
+//! The interval lattice the static CPI bounds engine computes over.
+//!
+//! An [`Interval`] is a closed range `[lo, hi]` of finite, non-negative
+//! `f64`s. The bounds pass only ever needs the operations that preserve
+//! *soundness* — if the true quantity lies inside both operands, it lies
+//! inside the result — so the type exposes exactly those: point and range
+//! construction, addition, multiplication, scaling, the union hull, and
+//! containment. Division is deliberately restricted to the one sound shape
+//! the pass uses (a count interval over a positive total interval).
+//!
+//! An interval with `lo > hi` is *inverted*: the abstract interpreter
+//! never constructs one on purpose, and [`Lint::BoundInversion`]
+//! (`RA602`) exists to surface one escaping anyway, so construction does
+//! not panic on it.
+//!
+//! [`Lint::BoundInversion`]: crate::diag::Lint::BoundInversion
+
+use std::fmt;
+
+/// A closed `[lo, hi]` range of `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The zero point (the additive identity).
+    pub fn zero() -> Interval {
+        Interval::point(0.0)
+    }
+
+    /// Whether `lo > hi` — a bound no value can satisfy (`RA602`).
+    pub fn is_inverted(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Scales both endpoints by a non-negative factor.
+    pub fn scale(self, k: f64) -> Interval {
+        Interval {
+            lo: self.lo * k,
+            hi: self.hi * k,
+        }
+    }
+
+    /// The convex hull of two intervals (the lattice join).
+    pub fn union(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The fraction `self / total` of two non-negative intervals with
+    /// `total.lo > 0`, clamped to `[0, 1]`: the sound abstraction of
+    /// "what share of the total does this part make up" when the part is
+    /// one of the summands of the total.
+    pub fn fraction_of(self, total: Interval) -> Interval {
+        debug_assert!(total.lo > 0.0, "fraction over a possibly-zero total");
+        Interval {
+            lo: (self.lo / total.hi).clamp(0.0, 1.0),
+            hi: (self.hi / total.lo).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Widens the interval by a relative slack: `lo` shrinks and `hi`
+    /// grows by `rel` of their magnitude. The bounds pass applies this
+    /// once, at the end, to absorb float-summation rounding and
+    /// trace-truncation mix drift without giving up tightness elsewhere.
+    pub fn widen_relative(self, rel: f64) -> Interval {
+        Interval {
+            lo: self.lo * (1.0 - rel),
+            hi: self.hi * (1.0 + rel),
+        }
+    }
+}
+
+/// Interval addition: `[a.lo + b.lo, a.hi + b.hi]`.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+/// Multiplication of two non-negative intervals:
+/// `[a.lo * b.lo, a.hi * b.hi]`. Sound only when both operands are
+/// non-negative, which every quantity in the bounds pass (counts, trips,
+/// latencies, fractions) is.
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_contains_only_itself() {
+        let p = Interval::point(2.5);
+        assert!(p.contains(2.5));
+        assert!(!p.contains(2.5000001));
+        assert_eq!(p.width(), 0.0);
+        assert!(!p.is_inverted());
+    }
+
+    #[test]
+    fn arithmetic_is_endpointwise() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(3.0, 5.0);
+        assert_eq!(a + b, Interval::new(4.0, 7.0));
+        assert_eq!(a * b, Interval::new(3.0, 10.0));
+        assert_eq!(a.scale(4.0), Interval::new(4.0, 8.0));
+    }
+
+    #[test]
+    fn union_is_the_hull() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(4.0, 5.0);
+        let u = a.union(b);
+        assert_eq!(u, Interval::new(1.0, 5.0));
+        assert!(u.contains(3.0), "the hull covers the gap");
+    }
+
+    #[test]
+    fn fraction_is_clamped_and_ordered() {
+        let part = Interval::new(2.0, 4.0);
+        let total = Interval::new(8.0, 10.0);
+        let f = part.fraction_of(total);
+        assert_eq!(f, Interval::new(0.2, 0.5));
+        // A part as large as the total clamps at 1.
+        let f = Interval::new(9.0, 12.0).fraction_of(total);
+        assert_eq!(f.hi, 1.0);
+        assert!(!f.is_inverted());
+    }
+
+    #[test]
+    fn widen_is_symmetric_and_preserves_members() {
+        let a = Interval::new(10.0, 20.0);
+        let w = a.widen_relative(0.01);
+        assert!(w.lo < a.lo && w.hi > a.hi);
+        assert!(w.contains(10.0) && w.contains(20.0));
+    }
+
+    #[test]
+    fn inversion_is_representable_not_fatal() {
+        // RA602 polices this; the type must carry it without panicking.
+        let inv = Interval::new(2.0, 1.0);
+        assert!(inv.is_inverted());
+        assert!(!inv.contains(1.5));
+    }
+}

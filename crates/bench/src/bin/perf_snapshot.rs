@@ -1,7 +1,7 @@
 //! Writes a reproducible performance snapshot of the simulator itself —
 //! the perf trajectory the repo tracks across changes.
 //!
-//! The snapshot (`BENCH_9.json` by default) records:
+//! The snapshot (`BENCH_10.json` by default) records:
 //!
 //! * simulator throughput (instructions per second) per kernel
 //!   category, best of three runs;
@@ -10,6 +10,8 @@
 //!   again sharded over two spawned worker processes (the
 //!   `racesim-dist` coordinator path), so the snapshot tracks the
 //!   dispatch overhead of distributed campaigns;
+//! * the percent of fresh evaluations the static bounds engine avoids
+//!   on the pinned elimination scenario (`static_elim_pct`);
 //! * the self-profiler's phase breakdown (percent of profiled wall per
 //!   phase path) over the micro-benchmark suite.
 //!
@@ -30,7 +32,7 @@
 
 use racesim_bench::{banner, validate, ExperimentConfig};
 use racesim_core::{CampaignSpec, Revision};
-use racesim_kernels::microbench_suite;
+use racesim_kernels::{microbench_suite, Scale};
 use racesim_race::{RacingTuner, TryCostFn};
 use racesim_sim::{Platform, Simulator};
 use racesim_telemetry::{Profiler, Telemetry};
@@ -52,6 +54,9 @@ struct Snapshot {
     dist_seq_wall_ms: f64,
     /// The same iteration sharded over two spawned workers.
     dist_tune_wall_ms: f64,
+    /// Percent of fresh evaluations the static bounds engine avoided on
+    /// the pinned elimination scenario (bounds-off evals vs bounds-on).
+    static_elim_pct: f64,
     /// phase path → percent of profiled wall (self time).
     phases: BTreeMap<String, f64>,
 }
@@ -65,12 +70,14 @@ impl Snapshot {
         format!(
             "{{\"schema_version\":1,\"scale\":{},\"throughput\":{},\
              \"tune_wall_ms\":{:.1},\"dist_seq_wall_ms\":{:.1},\
-             \"dist_tune_wall_ms\":{:.1},\"phases\":{}}}\n",
+             \"dist_tune_wall_ms\":{:.1},\"static_elim_pct\":{:.2},\
+             \"phases\":{}}}\n",
             self.scale,
             map(&self.throughput),
             self.tune_wall_ms,
             self.dist_seq_wall_ms,
             self.dist_tune_wall_ms,
+            self.static_elim_pct,
             map(&self.phases)
         )
     }
@@ -177,6 +184,7 @@ fn measure_dist_tune(cfg: &ExperimentConfig, workers: usize) -> (f64, f64) {
         threads: 1,
         workers: 0,
         max_iterations: Some(1),
+        static_bounds: false,
         timeout_ms: None,
         fault_profile: "none".to_string(),
         fault_seed: 1,
@@ -197,6 +205,7 @@ fn measure_dist_tune(cfg: &ExperimentConfig, workers: usize) -> (f64, f64) {
                 fault_seed: spec.fault_seed,
                 timeout_ms: 0,
                 worker: 0,
+                static_bounds: false,
             };
             let pool = racesim_dist::WorkerPool::new(
                 Box::new(racesim_dist::ProcessLauncher::new(argv)),
@@ -225,6 +234,57 @@ fn measure_dist_tune(cfg: &ExperimentConfig, workers: usize) -> (f64, f64) {
     (seq_ms, dist_ms)
 }
 
+/// Runs the pinned static-elimination scenario twice — bounds on, then
+/// off — and returns the percent of fresh evaluations the bounds engine
+/// avoided. The scenario is pinned rather than taken from the
+/// environment: eliminations only fire when races are short enough for
+/// the incumbent's recorded prefix cost to dip under the bound ceiling,
+/// so the budget/scale/seed triple below is the same one the CI
+/// bounds-smoke job exercises. The frozen dimensions mirror what
+/// `racesim tune` freezes from the coverage matrix on the shipped
+/// suite, so the campaign here is the CLI campaign.
+fn measure_static_elim() -> f64 {
+    let spec = |static_bounds: bool| CampaignSpec {
+        kind: CoreKind::InOrder,
+        scale: Scale::divide_by(2048),
+        budget: 120,
+        seed: 9,
+        threads: 4,
+        workers: 0,
+        max_iterations: None,
+        static_bounds,
+        timeout_ms: None,
+        fault_profile: "none".to_string(),
+        fault_seed: 1,
+        frozen: [
+            "lat.int_div",
+            "lat.fp_div",
+            "lat.fp_sqrt",
+            "lat.fp_mov",
+            "lat.simd_mul",
+        ]
+        .iter()
+        .map(|p| ((*p).to_string(), "I0".to_string()))
+        .collect(),
+    };
+    let telemetry = Telemetry::disabled();
+    let on = spec(true).run(&telemetry).expect("bounds-on tune");
+    let off = spec(false).run(&telemetry).expect("bounds-off tune");
+    assert!(
+        on.static_eliminated >= 1,
+        "the pinned scenario must eliminate at least one configuration"
+    );
+    // Elimination must not change the outcome: same survivors, same
+    // recorded costs, bit for bit.
+    assert_eq!(on.elites.len(), off.elites.len(), "survivor sets differ");
+    for ((ca, a), (cb, b)) in on.elites.iter().zip(&off.elites) {
+        assert_eq!(ca, cb, "survivor sets differ");
+        assert_eq!(a.to_bits(), b.to_bits(), "survivor costs differ");
+    }
+    assert!(off.evals_used > 0, "bounds-off run must evaluate");
+    100.0 * (off.evals_used.saturating_sub(on.evals_used)) as f64 / off.evals_used as f64
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Hidden worker mode: serve framed evaluation requests on
@@ -241,7 +301,7 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_10.json".to_string());
     let gate = flag("--gate");
     let tolerance: f64 = flag("--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a fraction like 0.25"))
@@ -276,6 +336,10 @@ fn main() {
         dist_seq_wall_ms / dist_tune_wall_ms.max(1e-9)
     );
 
+    println!("measuring static-bounds elimination on the pinned scenario...");
+    let static_elim_pct = measure_static_elim();
+    println!("  {static_elim_pct:.2}% of fresh evaluations avoided");
+
     let snapshot = Snapshot {
         scale: std::env::var("RACESIM_SCALE")
             .ok()
@@ -285,6 +349,7 @@ fn main() {
         tune_wall_ms,
         dist_seq_wall_ms,
         dist_tune_wall_ms,
+        static_elim_pct,
         phases,
     };
     std::fs::write(&out_path, snapshot.render_json()).expect("write snapshot");

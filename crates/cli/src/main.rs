@@ -14,7 +14,8 @@
 //! racesim replay   <JOURNAL> [--json]
 //! racesim diff     [--core a53] [--revision-a REV] [--revision-b REV] [--tolerance PCT]
 //! racesim profile  [--suite micro|spec|all] [--workload NAME] [--json] [--folded FILE]
-//! racesim lint     [--json] [--suite] [--revision fixed|initial]
+//! racesim bounds   [--core a53] [--workload NAME] [--json]
+//! racesim lint     [--json] [--suite] [--revision fixed|initial] [--deny-warnings]
 //! ```
 
 use racesim_core::{
@@ -56,6 +57,8 @@ COMMANDS:
                                   platform configs, or saved baselines (the regression gate)
     profile                       self-profile the simulator: per-kernel phase tree of where
                                   wall time goes (fetch/decode/execute, memory levels, stalls)
+    bounds                        static CPI intervals of every kernel on a platform preset —
+                                  the intervals `tune --static-bounds` eliminates against
     lint                          statically check platforms, parameter spaces and kernels
     help                          show this message
 
@@ -74,8 +77,16 @@ COMMON OPTIONS:
 LINT OPTIONS:
     --suite                       whole-campaign analysis: kernel IR lints (RA4xx),
                                   the parameter-coverage matrix and suite-level
-                                  coverage lints (RA41x), and the determinism
-                                  audit (RA5xx)
+                                  coverage lints (RA41x), the determinism
+                                  audit (RA5xx), and the static CPI bounds
+                                  lints (RA6xx)
+    --deny-warnings               exit non-zero on warnings too, not just errors
+                                  (for CI gates)
+
+BOUNDS OPTIONS:
+    --core <a53|a72>              platform preset the intervals are computed on (default a53)
+    --workload <NAME>             restrict to one kernel
+    --json                        machine-readable intervals (stable schema)
 
 TUNE OPTIONS:
     --seed <N>                    tuner RNG seed (default 0xBADCAB1E); runs are deterministic per seed
@@ -86,6 +97,9 @@ TUNE OPTIONS:
     --faults <none|transient|aggressive>
                                   inject deterministic board faults into the tune measurements
     --fault-seed <N>              seed of the fault plan (default 1)
+    --static-bounds               eliminate configurations whose static CPI-bound cost
+                                  floor exceeds the incumbent elite, before simulating
+                                  them (journaled; replay verifies the eliminations)
     --telemetry <FILE>            journal campaign events and metrics as JSONL (appends when
                                   resuming an existing journal; see `racesim report`)
     --workers <N>                 shard evaluations over N spawned worker processes; results
@@ -130,8 +144,8 @@ PROFILE OPTIONS:
 
 /// Flags that take no value. `--suite` is boolean only for `lint`; for
 /// `profile` it takes a suite name.
-const BOOL_FLAGS: &[&str] = &["json"];
-const LINT_BOOL_FLAGS: &[&str] = &["json", "suite"];
+const BOOL_FLAGS: &[&str] = &["json", "static-bounds"];
+const LINT_BOOL_FLAGS: &[&str] = &["json", "suite", "deny-warnings"];
 
 fn parse_flags(args: &[String], bool_flags: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -438,6 +452,7 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
             .unwrap_or_else(|| "none".to_string()),
         fault_seed: parse_u64(flags, "fault-seed", 1)?,
         frozen: Vec::new(),
+        static_bounds: flags.contains_key("static-bounds"),
     };
 
     // One telemetry handle threads through the whole stack: tuner, cost
@@ -473,6 +488,15 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
     let n_instances = stack.cost.len();
 
     let mut tuner = RacingTuner::new(spec.tuner_settings()).with_telemetry(telemetry.clone());
+
+    if let Some(b) = &stack.bounds {
+        tuner = tuner.with_static_bounds(Arc::clone(b) as _);
+        println!(
+            "static CPI bounds active over {} kernels: dominated configurations \
+             are eliminated before simulation",
+            b.kernels().len()
+        );
+    }
 
     // Coverage-based pruning: a dimension no benchmark in the suite can
     // statically observe cannot move the cost, so pin it to its default
@@ -549,6 +573,7 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
             fault_seed: spec.fault_seed,
             timeout_ms: spec.timeout_ms.unwrap_or(0),
             worker: 0,
+            static_bounds: spec.static_bounds,
         };
         let mut pool_opts = racesim_dist::PoolOptions::new(spec.workers, init);
         pool_opts.request_timeout =
@@ -598,6 +623,12 @@ fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
         "best cost: {:.2}% mean CPI error ({} evaluations, {} retries, {} configurations failed)",
         result.best_cost, result.evals_used, result.retries, result.failed_configs
     );
+    if result.static_eliminated > 0 {
+        println!(
+            "static bounds eliminated {} configuration(s) without simulation",
+            result.static_eliminated
+        );
+    }
     for (instance, reason) in &result.quarantined {
         println!(
             "quarantined instance {instance} ({}): {reason}",
@@ -744,6 +775,12 @@ impl CampaignSummary {
                 } => s
                     .eliminations
                     .push((kind.clone(), *after_blocks, config.clone())),
+                Event::StaticEliminated { config, .. } => {
+                    // Folded into the elimination stream: statically
+                    // eliminated configs never raced, so zero blocks.
+                    s.eliminations
+                        .push(("static".to_string(), 0, config.clone()));
+                }
                 Event::Quarantine { instance, reason } => {
                     s.quarantines.push((instance.clone(), reason.clone()));
                 }
@@ -1458,10 +1495,109 @@ fn cmd_profile(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `racesim bounds`: the static CPI interval of every kernel on a
+/// platform preset, from abstract interpretation over the kernel IR —
+/// no simulation, no board. These are the intervals `tune
+/// --static-bounds` eliminates against, so this is also the debugging
+/// view for "why was configuration X dropped".
+fn cmd_bounds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let (label, base) = match flags.get("core").map(String::as_str) {
+        Some("a53") | None => ("a53", Platform::a53_like()),
+        Some("a72") => ("a72", Platform::a72_like()),
+        Some(v) => return Err(format!("unknown core {v:?} (use a53 or a72)")),
+    };
+    let mut suite = racesim_kernels::microbench_suite_initialized(scale);
+    suite.extend(spec_suite(scale));
+    if let Some(name) = flags.get("workload") {
+        suite.retain(|w| &w.name == name);
+        if suite.is_empty() {
+            return Err(format!("unknown workload {name:?} (see `racesim list`)"));
+        }
+    }
+    let sb = racesim_analyzer::bounds::SuiteBounds::build(
+        suite.iter().map(|w| (w.name.as_str(), &w.program)),
+        &racesim_analyzer::bounds::BoundsOptions::default(),
+    );
+    let residency_label = |kb: &racesim_analyzer::bounds::KernelBounds| {
+        use racesim_analyzer::bounds::MemResidency;
+        match kb.residency(&base.mem) {
+            MemResidency::L1Resident => "l1",
+            MemResidency::L2Resident => "l2",
+            MemResidency::DramBound => "dram",
+        }
+    };
+    if flags.get("json").is_some() {
+        let kernels: Vec<String> = sb
+            .kernels
+            .iter()
+            .map(|kb| {
+                let iv = kb.cpi_interval(&base);
+                format!(
+                    "{{\"kernel\":\"{}\",\"insts_lo\":{},\"insts_hi\":{},\
+                     \"residency\":\"{}\",\"chains\":{},\"cycles\":{},\
+                     \"cpi_lo\":{},\"cpi_hi\":{}}}",
+                    kb.name,
+                    kb.dyn_insts.lo,
+                    kb.dyn_insts.hi,
+                    residency_label(kb),
+                    kb.chains.len(),
+                    kb.cycles.len(),
+                    iv.lo,
+                    iv.hi
+                )
+            })
+            .collect();
+        println!(
+            "{{\"schema_version\":1,\"core\":\"{label}\",\"scale\":{},\"kernels\":[{}]}}",
+            scale.divisor(),
+            kernels.join(",")
+        );
+    } else {
+        let rows: Vec<Vec<String>> = sb
+            .kernels
+            .iter()
+            .map(|kb| {
+                let iv = kb.cpi_interval(&base);
+                vec![
+                    kb.name.clone(),
+                    format!("{:.0}..{:.0}", kb.dyn_insts.lo, kb.dyn_insts.hi),
+                    residency_label(kb).to_string(),
+                    kb.chains.len().to_string(),
+                    kb.cycles.len().to_string(),
+                    format!("{:.4}", iv.lo),
+                    format!("{:.4}", iv.hi),
+                ]
+            })
+            .collect();
+        println!(
+            "static CPI bounds on {label} (scale 1/{}):",
+            scale.divisor()
+        );
+        print!(
+            "{}",
+            report::table(
+                &[
+                    "kernel",
+                    "dyn insts",
+                    "residency",
+                    "chains",
+                    "cycles",
+                    "cpi lo",
+                    "cpi hi"
+                ],
+                &rows
+            )
+        );
+    }
+    Ok(())
+}
+
 /// `racesim lint`: the static-analysis gate. Checks the shipped platform
 /// presets, the tuning parameter spaces for both cores, and every
 /// micro-benchmark kernel — all before a single cycle is simulated.
-/// Exits non-zero when any Error-severity diagnostic is found.
+/// Exits non-zero when any Error-severity diagnostic is found (and, with
+/// `--deny-warnings`, when any warning is).
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let revision = match flags.get("revision").map(String::as_str) {
         Some("fixed") | None => Revision::Fixed,
@@ -1580,6 +1716,48 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
                 .insert(0, ("audit".to_string(), "determinism".to_string()));
             report.push(d);
         }
+
+        // 6. Static CPI bounds over the same suite (RA6xx): vacuous
+        //    bounds, interval inversions, and parameters the bounds are
+        //    insensitive to across the whole suite, per core space.
+        let sb = racesim_analyzer::bounds::SuiteBounds::build(
+            all.iter().map(|w| (w.name.as_str(), &w.program)),
+            &racesim_analyzer::bounds::BoundsOptions::default(),
+        );
+        let mut bounds_json = String::from("{");
+        for (label, kind, base) in [
+            ("a53", CoreKind::InOrder, Platform::a53_like()),
+            ("a72", CoreKind::OutOfOrder, Platform::a72_like()),
+        ] {
+            let space = racesim_core::params::build_space(kind, revision);
+            let apply =
+                |cfg: &racesim_race::Configuration| racesim_core::params::apply(&space, cfg, &base);
+            let mut diags = Vec::new();
+            racesim_analyzer::bounds::check_suite_bounds(&sb.kernels, &space, &apply, &mut diags);
+            for mut d in diags {
+                d.context
+                    .insert(0, ("space".to_string(), label.to_string()));
+                report.push(d);
+            }
+            let default = apply(&space.default_configuration());
+            if label != "a53" {
+                bounds_json.push(',');
+            }
+            bounds_json.push_str(&format!("\"{label}\":["));
+            for (i, kb) in sb.kernels.iter().enumerate() {
+                let iv = kb.cpi_interval(&default);
+                if i > 0 {
+                    bounds_json.push(',');
+                }
+                bounds_json.push_str(&format!(
+                    "{{\"kernel\":\"{}\",\"cpi_lo\":{},\"cpi_hi\":{}}}",
+                    kb.name, iv.lo, iv.hi
+                ));
+            }
+            bounds_json.push(']');
+        }
+        bounds_json.push('}');
+        sections.push(("bounds", bounds_json));
     }
 
     report.sort();
@@ -1589,7 +1767,10 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         print!("{}", report.render_text());
         print!("{coverage_text}");
     }
-    Ok(if report.has_errors() {
+    let deny_warnings = flags.get("deny-warnings").is_some();
+    let denied = report.has_errors()
+        || (deny_warnings && report.count(racesim_analyzer::Severity::Warn) > 0);
+    Ok(if denied {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -1662,6 +1843,7 @@ fn main() -> ExitCode {
             }
         }
         "profile" => cmd_profile(&flags),
+        "bounds" => cmd_bounds(&flags),
         "lint" => {
             return match cmd_lint(&flags) {
                 Ok(code) => code,

@@ -10,6 +10,7 @@
 //! sides. The model revision is pinned to [`Revision::Fixed`] — `tune`
 //! always drives the fixed model.
 
+use crate::bounds::CampaignBounds;
 use crate::fallible::LazySuiteCost;
 use crate::params::{build_space, Revision};
 use crate::validator::{CostMetric, Validator, ValidatorSettings};
@@ -46,6 +47,11 @@ pub struct CampaignSpec {
     pub workers: usize,
     /// Iteration cap for staged runs (`None` = run to completion).
     pub max_iterations: Option<usize>,
+    /// Whether the static CPI bounds engine pre-eliminates provably
+    /// dominated configurations each iteration. Semantic: eliminations
+    /// change which configurations race, so replay re-runs with the
+    /// recorded setting and verifies the `static_eliminated` events.
+    pub static_bounds: bool,
     /// Per-evaluation watchdog timeout in milliseconds.
     pub timeout_ms: Option<u64>,
     /// Fault-injection profile name (`none`, `transient`, `aggressive`).
@@ -70,6 +76,9 @@ pub struct CampaignStack {
     pub suite: Vec<Workload>,
     /// The fallible cost function over the suite.
     pub cost: Arc<LazySuiteCost>,
+    /// The static bounds engine, when the spec enables it. Built against
+    /// the clean reference board so elimination decisions are replayable.
+    pub bounds: Option<Arc<CampaignBounds>>,
 }
 
 impl CampaignSpec {
@@ -92,6 +101,7 @@ impl CampaignSpec {
             threads: self.threads,
             workers: self.workers,
             max_iterations: self.max_iterations.unwrap_or(0) as u64,
+            static_bounds: self.static_bounds,
         }
     }
 
@@ -140,6 +150,7 @@ impl CampaignSpec {
                     timeout_ms,
                     threads,
                     workers,
+                    static_bounds,
                     ..
                 } if config.is_none() => {
                     let kind = match core.as_str() {
@@ -155,6 +166,7 @@ impl CampaignSpec {
                         *timeout_ms,
                         *threads,
                         *workers,
+                        *static_bounds,
                     ));
                 }
                 Event::CampaignStart { seed, budget, .. } if start.is_none() => {
@@ -166,8 +178,8 @@ impl CampaignSpec {
                 _ => {}
             }
         }
-        let (kind, scale, fault_profile, fault_seed, timeout_ms, threads, workers) = config
-            .ok_or_else(|| {
+        let (kind, scale, fault_profile, fault_seed, timeout_ms, threads, workers, static_bounds) =
+            config.ok_or_else(|| {
                 "journal has no campaign_config event (recorded before replay support?); \
                  re-record it with a current `racesim tune --telemetry`"
                     .to_string()
@@ -184,6 +196,7 @@ impl CampaignSpec {
             threads: threads.max(1),
             workers,
             max_iterations: None,
+            static_bounds,
             timeout_ms: (timeout_ms != 0).then_some(timeout_ms),
             fault_profile,
             fault_seed,
@@ -243,16 +256,34 @@ impl CampaignSpec {
                 ),
                 None => Arc::new(self.board().with_telemetry(telemetry.clone())),
             };
-        let cost = Arc::new(
+        // The bounds engine measures on the clean board (never the
+        // fault-injected one): the cached hardware CPIs must be a pure
+        // function of the suite for eliminations to replay bit-for-bit.
+        let bounds = if self.static_bounds {
+            Some(Arc::new(CampaignBounds::measure(
+                &board,
+                &suite,
+                base.clone(),
+                settings.metric,
+            )?))
+        } else {
+            None
+        };
+        let mut cost =
             LazySuiteCost::new(tune_board, &suite, base.clone(), decoder, settings.metric)
                 .map_err(|e| e.to_string())?
-                .with_telemetry(telemetry.clone()),
-        );
+                .with_telemetry(telemetry.clone());
+        if let Some(b) = &bounds {
+            // Soundness gate: every simulated CPI must land inside its
+            // static interval (debug builds assert; see fallible.rs).
+            cost = cost.with_bounds_check(b.kernels().to_vec());
+        }
         Ok(CampaignStack {
             space,
             base,
             suite,
-            cost,
+            cost: Arc::new(cost),
+            bounds,
         })
     }
 
@@ -282,6 +313,9 @@ impl CampaignSpec {
         let stack = self.build_stack(telemetry)?;
         let n_instances = stack.cost.len();
         let mut tuner = RacingTuner::new(self.tuner_settings()).with_telemetry(telemetry.clone());
+        if let Some(b) = &stack.bounds {
+            tuner = tuner.with_static_bounds(Arc::clone(b) as _);
+        }
         let frozen = self.decode_frozen(&stack.space)?;
         if !frozen.is_empty() {
             tuner = tuner.with_frozen(frozen);
@@ -313,6 +347,7 @@ mod tests {
             threads: 1,
             workers: 2,
             max_iterations: Some(1),
+            static_bounds: true,
             timeout_ms: Some(60_000),
             fault_profile: "transient".to_string(),
             fault_seed: 7,

@@ -20,6 +20,7 @@
 
 use crate::params::apply;
 use crate::validator::CostMetric;
+use racesim_analyzer::bounds::KernelBounds;
 use racesim_decoder::Decoder;
 use racesim_hw::{HardwarePlatform, MeasureError, PerfCounters};
 use racesim_kernels::Workload;
@@ -47,6 +48,10 @@ pub struct LazySuiteCost {
     // at a time) and never measures the same benchmark twice.
     hw: Mutex<Vec<Option<PerfCounters>>>,
     telemetry: Telemetry,
+    // Instance-aligned static CPI bounds; debug builds assert every
+    // simulated CPI lands inside its interval (the soundness contract
+    // the static eliminator relies on).
+    bounds: Option<Vec<KernelBounds>>,
 }
 
 impl LazySuiteCost {
@@ -86,7 +91,24 @@ impl LazySuiteCost {
             uninit,
             hw: Mutex::new(slots),
             telemetry: Telemetry::disabled(),
+            bounds: None,
         })
+    }
+
+    /// Attaches instance-aligned static CPI bounds: in debug builds,
+    /// every evaluation asserts the simulated CPI lands inside its
+    /// static interval. A violation means the bounds engine is unsound
+    /// (or the timing model moved outside the modelled envelope) —
+    /// either way the static eliminator cannot be trusted, so failing
+    /// loudly beats silently mis-eliminating configurations.
+    pub fn with_bounds_check(mut self, bounds: Vec<KernelBounds>) -> LazySuiteCost {
+        assert_eq!(
+            bounds.len(),
+            self.names.len(),
+            "bounds must align with the suite"
+        );
+        self.bounds = Some(bounds);
+        self
     }
 
     /// Attaches a telemetry handle: every evaluation journals an
@@ -197,6 +219,13 @@ impl TryCostFn for LazySuiteCost {
         let hw = self.counters(instance)?;
         let sw = self.telemetry.stopwatch();
         let platform = apply(space, cfg, &self.base);
+        let static_iv = if cfg!(debug_assertions) {
+            self.bounds
+                .as_ref()
+                .map(|b| b[instance].cpi_interval(&platform))
+        } else {
+            None
+        };
         let sim = Simulator::with_decoder(platform, self.decoder, SimOptions::default())
             .with_telemetry(self.telemetry.clone());
         let stats = sim.run(&self.traces[instance]).map_err(|e| {
@@ -210,6 +239,14 @@ impl TryCostFn for LazySuiteCost {
                 ),
             )
         })?;
+        if let Some(iv) = static_iv {
+            debug_assert!(
+                iv.contains(stats.cpi()),
+                "static CPI bounds violated on {}: simulated CPI {} outside {iv}",
+                self.names[instance],
+                stats.cpi(),
+            );
+        }
         let cost = self.metric.evaluate(
             stats.cpi(),
             hw.cpi(),

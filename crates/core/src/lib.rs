@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod bounds;
 pub mod campaign;
 pub mod diff;
 pub mod fallible;
@@ -37,6 +38,7 @@ pub mod pipeline;
 pub mod report;
 pub mod validator;
 
+pub use bounds::CampaignBounds;
 pub use campaign::{CampaignSpec, CampaignStack};
 pub use diff::{diff_records, CpiDiff, DiffRow, KernelCpi};
 pub use fallible::LazySuiteCost;

@@ -544,6 +544,7 @@ mod tests {
             fault_seed: 1,
             timeout_ms: 0,
             worker: 0,
+            static_bounds: false,
         }
     }
 

@@ -168,6 +168,11 @@ pub struct InitSpec {
     pub timeout_ms: u64,
     /// The worker's slot index in the pool.
     pub worker: usize,
+    /// Whether the campaign runs with the static CPI bounds engine. The
+    /// worker only evaluates, so this toggles nothing but the debug-build
+    /// soundness assertion — carried in the handshake so a worker's
+    /// evaluation stack matches the coordinator's bit for bit.
+    pub static_bounds: bool,
 }
 
 /// A coordinator-to-worker frame.
@@ -265,6 +270,16 @@ impl Fields {
         self.u64(key).map(|v| v as usize)
     }
 
+    /// `u64` with a default when the field is absent — for fields newer
+    /// than the peer (a present-but-mistyped field still errors).
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, WireError> {
+        if self.0.iter().any(|(k, _)| k == key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
     fn f64_bits(&self, key: &str) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64(key)?))
     }
@@ -282,7 +297,8 @@ impl Request {
                     .str("faults", &spec.faults)
                     .u64("fault_seed", spec.fault_seed)
                     .u64("timeout_ms", spec.timeout_ms)
-                    .u64("worker", spec.worker as u64);
+                    .u64("worker", spec.worker as u64)
+                    .u64("static_bounds", u64::from(spec.static_bounds));
             }
             Request::Eval {
                 id,
@@ -323,6 +339,8 @@ impl Request {
                 fault_seed: f.u64("fault_seed")?,
                 timeout_ms: f.u64("timeout_ms")?,
                 worker: f.usize("worker")?,
+                // Absent in frames from pre-bounds coordinators.
+                static_bounds: f.u64_or("static_bounds", 0)? != 0,
             })),
             "eval" => {
                 let factor = f.f64_bits("r_factor_bits")?;
@@ -539,6 +557,29 @@ mod tests {
         assert_eq!(read_request(&mut r).unwrap(), req);
         assert_eq!(read_response(&mut r).unwrap(), resp);
         assert_eq!(read_request(&mut r), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn init_roundtrips_and_defaults_the_bounds_toggle() {
+        let req = Request::Init(InitSpec {
+            core: "a72".to_string(),
+            scale: 4096,
+            faults: "transient".to_string(),
+            fault_seed: 9,
+            timeout_ms: 500,
+            worker: 3,
+            static_bounds: true,
+        });
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+
+        // Frames from a pre-bounds coordinator lack the field: default off.
+        let legacy = "{\"kind\":\"init\",\"core\":\"a53\",\"scale\":2048,\
+                      \"faults\":\"none\",\"fault_seed\":1,\"timeout_ms\":0,\
+                      \"worker\":0}";
+        match Request::decode(legacy).unwrap() {
+            Request::Init(spec) => assert!(!spec.static_bounds),
+            other => panic!("expected init, got {other:?}"),
+        }
     }
 
     #[test]

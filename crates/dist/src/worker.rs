@@ -203,6 +203,7 @@ pub fn campaign_stack(init: &InitSpec) -> Result<WorkerStack, String> {
         fault_profile: init.faults.clone(),
         fault_seed: FaultPlan::worker_seed(init.fault_seed, init.worker),
         frozen: Vec::new(),
+        static_bounds: init.static_bounds,
     };
     let stack = spec.build_stack(&Telemetry::disabled())?;
     let n_instances = stack.cost.len();
@@ -321,6 +322,7 @@ mod tests {
             fault_seed: 1,
             timeout_ms: 0,
             worker,
+            static_bounds: false,
         })
     }
 

@@ -58,18 +58,22 @@ fn any_request() -> BoxedStrategy<Request> {
             any_string(),
             any::<u64>(),
             any::<u64>(),
-            0..64usize
+            0..64usize,
+            any::<bool>()
         )
-            .prop_map(|(core, scale, faults, fault_seed, timeout_ms, worker)| {
-                Request::Init(InitSpec {
-                    core,
-                    scale,
-                    faults,
-                    fault_seed,
-                    timeout_ms,
-                    worker,
-                })
-            }),
+            .prop_map(
+                |(core, scale, faults, fault_seed, timeout_ms, worker, static_bounds)| {
+                    Request::Init(InitSpec {
+                        core,
+                        scale,
+                        faults,
+                        fault_seed,
+                        timeout_ms,
+                        worker,
+                        static_bounds,
+                    })
+                }
+            ),
         (any::<u64>(), any_config_code(), 0..256usize, any_retry()).prop_map(
             |(id, config, instance, retry)| Request::Eval {
                 id,

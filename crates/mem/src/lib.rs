@@ -51,5 +51,5 @@ pub use config::{
 pub use dram::Dram;
 pub use hash::SetIndexer;
 pub use hierarchy::{AccessResult, HierarchyStats, Level, MemOp, MemoryHierarchy};
-pub use prefetch::{GhbPrefetcher, NextLinePrefetcher, Prefetcher, StridePrefetcher};
+pub use prefetch::{GhbPrefetcher, NextLinePrefetcher, Prefetcher, StridePrefetcher, MAX_DEGREE};
 pub use tlb::{Tlb, TlbStats};

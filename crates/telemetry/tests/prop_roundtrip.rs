@@ -45,7 +45,7 @@ fn any_event() -> BoxedStrategy<Event> {
             any::<u64>(),
             0..256usize,
             0..64usize,
-            any::<u64>()
+            (any::<u64>(), any::<bool>())
         )
             .prop_map(
                 |(
@@ -56,7 +56,7 @@ fn any_event() -> BoxedStrategy<Event> {
                     timeout_ms,
                     threads,
                     workers,
-                    max_iterations,
+                    (max_iterations, static_bounds),
                 )| {
                     Event::CampaignConfig {
                         core,
@@ -67,6 +67,7 @@ fn any_event() -> BoxedStrategy<Event> {
                         threads,
                         workers,
                         max_iterations,
+                        static_bounds,
                     }
                 }
             ),
@@ -118,6 +119,14 @@ fn any_event() -> BoxedStrategy<Event> {
                 kind,
                 after_blocks,
                 reason,
+            }
+        ),
+        (any_string(), 0..100usize, any_f64(), any_f64()).prop_map(
+            |(config, iteration, lower_bound, incumbent_cost)| Event::StaticEliminated {
+                config,
+                iteration,
+                lower_bound,
+                incumbent_cost,
             }
         ),
         (any_string(), any_string())
